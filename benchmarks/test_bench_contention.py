@@ -1,0 +1,73 @@
+"""Contention-dispersal bench — measuring the paper's central design goal
+directly.
+
+§I: uncoordinated analogous queries must not funnel tasks onto the same
+hosts.  The placement-balance metrics (Jain index over per-host placement
+counts, hotspot share, peak concurrency) quantify how well each protocol
+disperses load — the *cause* behind the T-Ratio differences of Figs. 4-7.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SOCSimulation
+
+
+def run_proto(protocol, demand_ratio, seed=31):
+    cfg = ExperimentConfig(
+        n_nodes=150, duration=7200.0, demand_ratio=demand_ratio,
+        protocol=protocol, seed=seed,
+    )
+    return SOCSimulation(cfg).run()
+
+
+@pytest.mark.benchmark(group="contention")
+def test_placement_dispersal_narrow_demands(benchmark):
+    """Narrow demands (λ=0.25) are the contention stress test: every query
+    lands in the same corner region of the key space (§IV-B's explanation
+    of Fig. 4(b))."""
+
+    def sweep():
+        return {
+            p: run_proto(p, demand_ratio=0.25)
+            for p in ("hid-can", "sid-can", "newscast")
+        }
+
+    out = run_once(benchmark, sweep)
+    for label, res in out.items():
+        benchmark.extra_info[label] = res.balance.as_dict()
+
+    for res in out.values():
+        bal = res.balance
+        assert bal.placements > 0
+        # no protocol may collapse onto a handful of hosts
+        assert bal.hosts_used > 10
+        # the top-5% hotspot share stays well below total collapse
+        assert bal.hotspot_share < 0.9
+
+
+@pytest.mark.benchmark(group="contention")
+def test_randomized_jumps_disperse_better_than_single_duty(benchmark):
+    """Ablation for the randomized query phases: disabling the index-jump
+    randomness (jump_list_size=1, delta=1, duty-cache-first) concentrates
+    placements measurably more than the full protocol."""
+    from repro.core.protocol import PIDCANParams
+
+    def sweep():
+        full = SOCSimulation(ExperimentConfig(
+            n_nodes=150, duration=7200.0, demand_ratio=0.25, seed=32,
+            protocol="hid-can",
+        )).run()
+        narrow = SOCSimulation(ExperimentConfig(
+            n_nodes=150, duration=7200.0, demand_ratio=0.25, seed=32,
+            protocol="hid-can",
+            pidcan=PIDCANParams(jump_list_size=1, delta=1),
+        )).run()
+        return full, narrow
+
+    full, narrow = run_once(benchmark, sweep)
+    benchmark.extra_info["full"] = full.balance.as_dict()
+    benchmark.extra_info["deterministic"] = narrow.balance.as_dict()
+    # more randomness ⇒ at least as many distinct hosts carry the load
+    assert full.balance.hosts_used >= narrow.balance.hosts_used * 0.9

@@ -1,0 +1,35 @@
+"""Figure 8 — HID-CAN under node churn (λ=0.5).
+
+Paper reading: up to a 50% dynamic degree (half the population replaced
+per mean task lifetime) throughput and failure ratios are "not remarkably
+influenced"; visible degradation appears only at extreme churn.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_results, run_once
+from repro.experiments.reporting import render_scenario
+from repro.experiments.scenarios import fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_churn_tolerance(benchmark, scale):
+    results = run_once(benchmark, fig8, scale=scale)
+    attach_results(benchmark, results)
+    print()
+    print(render_scenario("fig8", results))
+
+    static = results["static"]
+    mid = results["dynamic 50%"]
+    extreme = results["dynamic 95%"]
+
+    # ≤50% churn: throughput within a modest band of the static run.  The
+    # band widens at tiny scale, where one churn event disrupts a much
+    # larger fraction of the overlay than in the paper's 2000-node runs.
+    band = 0.55 if scale == "tiny" else 0.7
+    assert mid.t_ratio > static.t_ratio * band
+    # Degradation is monotone-ish: extreme churn is the worst case.
+    assert extreme.t_ratio <= static.t_ratio + 0.05
+    assert extreme.f_ratio >= static.f_ratio - 0.05
+    # The overlay survives: even at 95% churn most tasks resolve.
+    assert extreme.t_ratio > 0.05

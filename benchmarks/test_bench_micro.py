@@ -1,0 +1,103 @@
+"""Microbenchmarks of the hot substrate operations.
+
+These are conventional pytest-benchmark timings (many rounds) that guard
+the simulator's scalability: routing, overlay churn, PSM re-sharing and
+cache matching dominate the per-event cost of full SOC runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.can.inscan import build_index_table, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import greedy_path
+from repro.cloud.executor import NodeExecutor
+from repro.cloud.tasks import TaskFactory
+from repro.core.state import StateCache, StateRecord
+from tests.conftest import make_overlay
+
+
+@pytest.mark.benchmark(group="micro-routing")
+def test_greedy_route_256(benchmark):
+    overlay = make_overlay(256, 2, seed=1)
+    rng = np.random.default_rng(2)
+    points = rng.uniform(0, 1, size=(64, 2))
+    starts = rng.integers(0, 256, size=64)
+    idx = {"i": 0}
+
+    def route():
+        i = idx["i"] = (idx["i"] + 1) % 64
+        return greedy_path(overlay, int(starts[i]), points[i])
+
+    benchmark(route)
+
+
+@pytest.mark.benchmark(group="micro-routing")
+def test_inscan_route_256(benchmark):
+    overlay = make_overlay(256, 2, seed=1)
+    rng = np.random.default_rng(3)
+    tables = {
+        i: build_index_table(overlay, i, rng) for i in overlay.node_ids()
+    }
+    points = rng.uniform(0, 1, size=(64, 2))
+    starts = rng.integers(0, 256, size=64)
+    idx = {"i": 0}
+
+    def route():
+        i = idx["i"] = (idx["i"] + 1) % 64
+        return inscan_path(overlay, tables, int(starts[i]), points[i])
+
+    benchmark(route)
+
+
+@pytest.mark.benchmark(group="micro-overlay")
+def test_join_leave_cycle(benchmark):
+    overlay = make_overlay(128, 3, seed=4)
+    counter = {"next": 10_000}
+
+    def cycle():
+        nid = counter["next"]
+        counter["next"] += 1
+        overlay.join(nid)
+        overlay.leave(nid)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="micro-executor")
+def test_psm_reshare_under_load(benchmark):
+    fac = TaskFactory(0.5, np.random.default_rng(5))
+    ex = NodeExecutor(np.array([25.6, 80.0, 10.0, 240.0, 4096.0]))
+    for _ in range(16):
+        ex.place(fac.create(0, 0.0), 0.0)
+    clock = {"t": 0.0}
+
+    def churn_one_task():
+        clock["t"] += 1.0
+        task = fac.create(0, clock["t"])
+        ex.place(task, clock["t"])
+        ex.remove(task.task_id, clock["t"])
+        ex.next_completion()
+
+    benchmark(churn_one_task)
+
+
+@pytest.mark.benchmark(group="micro-cache")
+def test_cache_qualified_scan(benchmark):
+    cache = StateCache(ttl=1e9)
+    rng = np.random.default_rng(6)
+    for owner in range(256):
+        cache.put(StateRecord(owner, rng.uniform(0, 1, 5), 0.0))
+    demand = np.full(5, 0.4)
+
+    benchmark(cache.qualified, demand, 1.0, 3)
+
+
+@pytest.mark.benchmark(group="micro-overlay")
+def test_bootstrap_400_nodes(benchmark):
+    def build():
+        overlay = CANOverlay(5, np.random.default_rng(7))
+        overlay.bootstrap(range(400))
+        return overlay
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

@@ -1,0 +1,78 @@
+"""Related-work comparison (§V): PID-CAN vs a Mercury-style hub scheme.
+
+The paper's critique of order-preserving-hub solutions: they "rely on some
+additional order-preserving hash function to reorganize the DHT nodes,
+significantly complicating the system", and replicate every state update
+into d attribute hubs.  The measurable consequences this bench checks:
+
+- Mercury's state-update traffic is a multiple of PID-CAN's (d hub
+  insertions vs one duty route), and
+- PID-CAN's matching rate is at least competitive despite spending a
+  single query message chain.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SOCSimulation
+
+
+def run_proto(protocol, seed=41, **kw):
+    cfg = ExperimentConfig(
+        n_nodes=150, duration=7200.0, demand_ratio=0.5, seed=seed,
+        protocol=protocol, **kw,
+    )
+    return SOCSimulation(cfg).run()
+
+
+@pytest.mark.benchmark(group="related-work")
+def test_mercury_vs_pidcan(benchmark):
+    def sweep():
+        return {
+            "hid-can": run_proto("hid-can"),
+            "mercury": run_proto("mercury"),
+        }
+
+    out = run_once(benchmark, sweep)
+    for label, res in out.items():
+        benchmark.extra_info[label] = {
+            "t_ratio": round(res.t_ratio, 4),
+            "f_ratio": round(res.f_ratio, 4),
+            "state_update_msgs": res.traffic_by_kind.get("state-update", 0),
+            "msg_per_node": round(res.per_node_msg_cost, 1),
+            "query_p95_s": round(res.query_latency.p95_s, 3),
+        }
+
+    hid = out["hid-can"]
+    mercury = out["mercury"]
+    # Mercury pays d-fold hub replication on the state-update side: its
+    # state traffic is a large multiple of PID-CAN's single duty route
+    # (measured ~9× at d=5), and its total per-node cost is several-fold.
+    assert (
+        mercury.traffic_by_kind["state-update"]
+        > hid.traffic_by_kind["state-update"] * 3.0
+    )
+    assert mercury.per_node_msg_cost > hid.per_node_msg_cost * 1.5
+    # The ordered hubs buy Mercury a strong matching rate; PID-CAN stays
+    # within a band of it while spending a fraction of the traffic — the
+    # §V trade-off in numbers.
+    assert hid.f_ratio <= mercury.f_ratio + 0.25
+
+
+@pytest.mark.benchmark(group="related-work")
+def test_query_latency_stays_low(benchmark):
+    """Abstract claim: 'low query delay' — the p95 query delay stays within
+    a few WAN round trips for PID-CAN."""
+
+    def sweep():
+        return run_proto("hid-can", seed=43)
+
+    res = run_once(benchmark, sweep)
+    benchmark.extra_info["latency"] = res.query_latency.as_dict()
+    assert res.query_latency.queries > 0
+    # one WAN hop ≈ 0.2-0.25 s and a full three-phase chain spends a few
+    # dozen sequential hops worst-case; p95 stays well under the 60 s
+    # query timeout (measured ≈6.5 s) and the mean under ~5 s.
+    assert res.query_latency.p95_s < 10.0
+    assert res.query_latency.mean_s < 5.0

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Node-churn study (Fig. 8): HID-CAN under dynamic membership.
+
+Sweeps the dynamic degree — the fraction of nodes replaced per mean task
+lifetime (3000 s) — and reports how discovery quality degrades.  Following
+the paper's model, churned-out nodes leave the overlay (their caches,
+PILists and pointer tables vanish; in-flight messages to them are dropped)
+while their resident tasks run to completion.
+
+Run:  python examples/churn_study.py [--kill-tasks]
+"""
+
+import argparse
+
+from repro import run_protocol
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--kill-tasks",
+        action="store_true",
+        help="ablation: churned nodes also kill their resident tasks",
+    )
+    args = parser.parse_args()
+
+    print(f"{'dynamic degree':>15s} {'T-Ratio':>9s} {'F-Ratio':>9s} "
+          f"{'fairness':>9s} {'evicted':>8s}")
+    for degree in (0.0, 0.25, 0.50, 0.75, 0.95):
+        result = run_protocol(
+            "hid-can",
+            scale=args.scale,
+            demand_ratio=0.5,
+            seed=args.seed,
+            churn_degree=degree,
+            churn_kills_tasks=args.kill_tasks,
+        )
+        label = "static" if degree == 0 else f"{degree:.0%}"
+        print(
+            f"{label:>15s} {result.t_ratio:9.3f} {result.f_ratio:9.3f} "
+            f"{result.fairness:9.3f} {result.evicted:8d}"
+        )
+
+    print(
+        "\nThe overlay self-repairs through the binary-partition-tree "
+        "takeover, so\nmoderate churn mostly costs stale records and lost "
+        "query chains; only\nextreme churn visibly hurts throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Checkpoint/restart fault tolerance — the paper's §VI future work.
+
+The ICPP'11 paper closes with: "we plan to study the PSM based execution
+fault-tolerance issues using check-pointing technologies on top of the
+HID-CAN protocol."  This example runs that study: under *killing* churn
+(crashed hosts take their resident tasks down), it compares
+
+1. no fault tolerance — killed tasks are simply lost;
+2. checkpoint/restart — tasks snapshot their remaining work to their
+   origin every checkpoint period; killed tasks roll back to the last
+   snapshot and re-run the HID-CAN discovery query for a new host.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import ExperimentConfig, SOCSimulation
+
+
+def run(checkpoint: bool, period: float = 600.0):
+    config = ExperimentConfig(
+        n_nodes=120,
+        duration=7200.0,
+        demand_ratio=0.4,
+        seed=42,
+        protocol="hid-can",
+        churn_degree=0.5,          # half the population replaced per 3000 s
+        churn_kills_tasks=True,    # crashes take resident tasks down
+        checkpoint_enabled=checkpoint,
+        checkpoint_period=period,
+    )
+    return SOCSimulation(config).run()
+
+
+def main() -> None:
+    plain = run(checkpoint=False)
+    ckpt = run(checkpoint=True)
+
+    print(f"{'':24s} {'no checkpoints':>15s} {'checkpoint/restart':>19s}")
+    rows = [
+        ("tasks generated", plain.generated, ckpt.generated),
+        ("tasks finished", plain.finished, ckpt.finished),
+        ("tasks evicted (killed)", plain.evicted, ckpt.evicted),
+        ("tasks recovered", plain.recovered, ckpt.recovered),
+        ("T-Ratio", f"{plain.t_ratio:.3f}", f"{ckpt.t_ratio:.3f}"),
+        ("checkpoint messages", 0, ckpt.traffic_by_kind.get("checkpoint", 0)),
+    ]
+    for label, a, b in rows:
+        print(f"{label:24s} {a!s:>15s} {b!s:>19s}")
+
+    saved = ckpt.finished - plain.finished
+    print(
+        f"\ncheckpointing recovered {ckpt.recovered} task executions and "
+        f"finished {saved:+d} more tasks,\npaying "
+        f"{ckpt.traffic_by_kind.get('checkpoint', 0)} checkpoint transfers "
+        f"(one per running task per {600:.0f} s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

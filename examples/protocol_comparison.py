@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Protocol comparison across demand regimes (condensed Figs. 4-7).
+
+Runs PID-CAN variants and the baselines at three demand ratios and prints
+an end-of-run summary per regime.  The paper's qualitative story should be
+visible directly:
+
+- wide demands (λ=1): HID/SID-CAN beat Newscast on throughput AND failures;
+- narrow demands (λ=0.25): Newscast's raw throughput catches up (the
+  Fig. 4(b) crossover) but its failed-task ratio stays far worse.
+
+Run:  python examples/protocol_comparison.py [--scale small]
+"""
+
+import argparse
+
+from repro import run_protocol
+from repro.experiments.reporting import summary_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    protocols = ["hid-can", "sid-can", "hid-can+sos", "newscast", "khdn-can"]
+    for demand_ratio in (1.0, 0.5, 0.25):
+        results = {
+            p: run_protocol(
+                p, scale=args.scale, demand_ratio=demand_ratio, seed=args.seed
+            )
+            for p in protocols
+        }
+        print()
+        print(summary_table(results, title=f"=== demand ratio λ={demand_ratio} ==="))
+
+    print(
+        "\nReading guide: T-Ratio = finished/generated, F-Ratio = failed/"
+        "generated.\nAt λ=1 the diffusion protocols find the scarce qualified "
+        "nodes that Newscast's\nrandom views miss; at λ=0.25 Newscast "
+        "disperses better (higher T-Ratio) but\nstill fails many times more "
+        "tasks than HID-CAN."
+    )
+
+
+if __name__ == "__main__":
+    main()

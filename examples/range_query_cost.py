@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Why single-message queries? INSCAN-RQ flooding vs PID-CAN (§III-A).
+
+The flooding range query returns *complete* results with delay ≤ 2·log2 n,
+but its traffic is log2(n) + N − 1 where N is every node responsible for
+part of the query box — §I's example: a query for CPU ≥ half the space
+makes about half the network respond.  PID-CAN's randomized single-message
+chain keeps per-query traffic flat regardless of range width, trading
+completeness for the first-δ matches.
+
+Run:  python examples/range_query_cost.py
+"""
+
+import numpy as np
+
+from repro.baselines.inscan_rq import INSCANRangeQuery
+from repro.core.query import QueryEngine, QueryParams
+from repro.testing import ProtocolSandbox as Harness
+
+
+def main() -> None:
+    # long TTLs: this synthetic comparison plants records once up front
+    # and queries several times, so nothing should age out in between
+    h = Harness(n=256, dims=2, seed=3, state_ttl=1e9, pilist_ttl=1e9)
+    rng = np.random.default_rng(4)
+
+    # one availability record per node, stored at its duty node
+    for owner in h.overlay.node_ids():
+        avail = rng.uniform(0, 1, 2)
+        h.plant_record(h.duty_of(avail), 1000 + owner, avail)
+    # PILists populated as the protocol's diffusion would
+    from repro.core.diffusion import DiffusionEngine
+
+    engine = DiffusionEngine(h.ctx, h.tables, h.pilists, dims=2, L=2)
+    for node, cache in h.caches.items():
+        if cache.non_empty(0.0):
+            for _ in range(3):
+                engine.diffuse(node, "hid")
+
+    flood = INSCANRangeQuery(h.overlay, h.tables, h.caches)
+    qe = QueryEngine(h.ctx, h.overlay, h.tables, h.caches, h.pilists, QueryParams())
+
+    print(f"{'corner':>7s} {'flood msgs':>11s} {'flood found':>12s} "
+          f"{'PID msgs':>9s} {'PID found':>10s}")
+    for corner in (0.8, 0.6, 0.4, 0.2):
+        demand = np.array([corner, corner])
+        flood_res = flood.query(0, demand, demand, now=0.0)
+
+        out = {}
+        qe.submit(demand, 0, lambda r, m: out.update(r=r, m=m))
+        h.sim.run(until=h.sim.now + 300.0)
+        print(
+            f"{corner:7.1f} {flood_res.messages:11d} "
+            f"{len(flood_res.records):12d} {out['m']:9d} "
+            f"{len({rec.owner for rec in out['r']}):10d}"
+        )
+
+    print(
+        "\nFlood traffic explodes as the query box widens (N−1 edges), "
+        "while the\nsingle-message chain stays bounded by δ and the agent/"
+        "jump-list sizes —\nfinding its first-k matches rather than all of "
+        "them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Comparator protocols from §IV-A and §III-A.
+
+- :mod:`repro.baselines.newscast` — the Newscast gossip protocol [26]:
+  unstructured partial views, fan-out limited to log2(n).
+- :mod:`repro.baselines.khdn` — KHDN-CAN: K-hop DHT-neighbor replication
+  with positive-direction probing (the paper's RT-CAN stand-in).
+- :mod:`repro.baselines.inscan_rq` — INSCAN-RQ flooding range query: the
+  complete-result strategy whose delay is ≤ 2·log2 n but whose traffic is
+  log2 n + N − 1 (§III-A).
+- :mod:`repro.baselines.randomwalk` — random-walk probing after duty-node
+  location, the §III-A strawman.
+"""
+
+from repro.baselines.newscast import NewscastProtocol
+from repro.baselines.khdn import KHDNProtocol
+from repro.baselines.randomwalk import RandomWalkProtocol
+from repro.baselines.inscan_rq import INSCANRangeQuery, RangeQueryResult
+
+__all__ = [
+    "NewscastProtocol",
+    "KHDNProtocol",
+    "RandomWalkProtocol",
+    "INSCANRangeQuery",
+    "RangeQueryResult",
+]

@@ -1,0 +1,101 @@
+"""INSCAN-RQ — the complete-result flooding range query of §III-A.
+
+Routes to the boundary-corner duty node of the demand vector, then floods
+every *responsible node* — every node whose zone overlaps the positive box
+``[v_norm, 1]^d`` — collecting all qualified records.  The paper proves:
+
+- query delay upper bound ``2·log2 n`` (route + flood depth), and
+- per-query traffic ``log2 n + N − 1`` where N is the number of
+  responsible nodes,
+
+and uses the heavy N-dependent traffic to motivate PID-CAN's single-message
+constraint.  This engine is used standalone by the §III-A benchmark; it is
+not wired into the SOC simulation (the paper does not evaluate it there
+either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.can.inscan import IndexPointerTable, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.core.state import StateCache, StateRecord
+
+__all__ = ["INSCANRangeQuery", "RangeQueryResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryResult:
+    """Outcome of one flooding range query."""
+
+    records: tuple[StateRecord, ...]
+    messages: int  # route hops + flood tree edges
+    route_hops: int
+    flood_depth: int
+    responsible_nodes: int  # N of the traffic formula
+
+
+class INSCANRangeQuery:
+    """Complete multi-dimensional range query over INSCAN."""
+
+    def __init__(
+        self,
+        overlay: CANOverlay,
+        tables: dict[int, IndexPointerTable],
+        caches: dict[int, StateCache],
+    ):
+        self.overlay = overlay
+        self.tables = tables
+        self.caches = caches
+
+    def query(
+        self,
+        requester: int,
+        demand: np.ndarray,
+        demand_point: np.ndarray,
+        now: float,
+    ) -> RangeQueryResult:
+        """All records dominating ``demand``; ``demand_point`` is the
+        normalized corner of the query box."""
+        demand = np.asarray(demand, dtype=np.float64)
+        lo = np.asarray(demand_point, dtype=np.float64)
+        hi = np.ones_like(lo)
+
+        path = inscan_path(self.overlay, self.tables, requester, lo)
+        duty = path[-1]
+        route_hops = len(path) - 1
+
+        # BFS flood across all zones overlapping [lo, 1]^d.
+        records: list[StateRecord] = []
+        seen = {duty}
+        frontier = [duty]
+        depth = 0
+        edges = 0
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                cache = self.caches.get(node)
+                if cache is not None:
+                    records.extend(cache.qualified(demand, now))
+                for m in sorted(self.overlay.nodes[node].neighbors):
+                    if m in seen:
+                        continue
+                    zone = self.overlay.nodes[m].zone
+                    if not zone.overlaps_box(lo, hi) and not zone.contains(lo):
+                        continue
+                    seen.add(m)
+                    edges += 1
+                    nxt.append(m)
+            frontier = nxt
+            if frontier:
+                depth += 1
+        return RangeQueryResult(
+            records=tuple(records),
+            messages=route_hops + edges,
+            route_hops=route_hops,
+            flood_depth=depth,
+            responsible_nodes=len(seen),
+        )

@@ -1,0 +1,222 @@
+"""KHDN-CAN — the K-Hop DHT-Neighbor range-query baseline (§IV-A).
+
+The paper describes it as RT-CAN [22] tailor-made for the SOC setting (and
+"converted from INSCAN-RQ"): once a state message reaches its duty node it
+is *spread to negative CAN neighbors within K hops*, so queries arriving at
+the minimal-demand zone can find qualified records by checking the duty node
+and a sample of its K-hop positive neighborhood.
+
+Replication trades state-update traffic for query locality — the exact
+opposite trade to PID-CAN's constant-ω index diffusion, which is the
+comparison §IV draws.  ``replication_fanout`` bounds the per-hop spread so
+total traffic can be tuned close to PID-CAN's (the paper tunes K for
+traffic parity).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.protocol import DiscoveryProtocol, PIDCANParams
+from repro.core.state import StateCache, StateRecord
+
+__all__ = ["KHDNProtocol"]
+
+
+class KHDNProtocol(DiscoveryProtocol):
+    """K-hop negative replication + positive probing on INSCAN."""
+
+    name = "khdn-can"
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        k_hops: int = 2,
+        replication_fanout: int = 2,
+        max_probes: int = 12,
+    ):
+        self.ctx = ctx
+        self.params = params
+        self.k_hops = k_hops
+        self.replication_fanout = replication_fanout
+        self.max_probes = max_probes
+        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
+        self.caches: dict[int, StateCache] = {}
+        self.tables: dict[int, IndexPointerTable] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: list[int]) -> None:
+        self.overlay.bootstrap(node_ids)
+        for node_id in node_ids:
+            self.caches[node_id] = StateCache(self.params.state_ttl)
+        for node_id in node_ids:
+            self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
+        for node_id in node_ids:
+            self._arm_state_updates(node_id)
+
+    def on_join(self, node_id: int) -> None:
+        self.overlay.join(node_id)
+        self.caches[node_id] = StateCache(self.params.state_ttl)
+        table = build_index_table(self.overlay, node_id, self.ctx.rng)
+        self.tables[node_id] = table
+        self.ctx.charge_local("maintenance", node_id, table.build_messages)
+        self._arm_state_updates(node_id)
+
+    def on_leave(self, node_id: int) -> None:
+        if node_id in self.overlay:
+            self.overlay.leave(node_id)
+        self.caches.pop(node_id, None)
+        self.tables.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # state updates with K-hop negative replication
+    # ------------------------------------------------------------------
+    def _arm_state_updates(self, node_id: int) -> None:
+        period = self.params.state_period
+
+        def tick() -> None:
+            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
+                return
+            self._state_update(node_id)
+            self.ctx.sim.schedule(period, tick)
+
+        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+
+    def _state_update(self, node_id: int) -> None:
+        availability = self.ctx.availability_of(node_id)
+        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
+        point = self.ctx.normalize(availability)
+        try:
+            path = inscan_path(self.overlay, self.tables, node_id, point)
+        except (RoutingError, KeyError):
+            return
+        self.ctx.send_path("state-update", path, self._deliver_state, path[-1], record)
+
+    def _deliver_state(self, duty: int, record: StateRecord) -> None:
+        cache = self.caches.get(duty)
+        if cache is None:
+            return
+        cache.put(record)
+        # Spread to sampled negative neighbors within K hops; each tree edge
+        # is one replication message.
+        for replica in self._sampled_frontier(duty, sign=-1):
+            self.ctx.charge_local("state-replication", duty)
+            target = self.caches.get(replica)
+            if target is not None:
+                target.put(record)
+
+    def _sampled_frontier(self, start: int, sign: int) -> list[int]:
+        """Sampled BFS through ``sign``-direction adjacent neighbors, up to
+        ``k_hops`` deep with per-node fanout ``replication_fanout``."""
+        seen = {start}
+        frontier = [start]
+        out: list[int] = []
+        for _ in range(self.k_hops):
+            nxt: list[int] = []
+            for node in frontier:
+                if node not in self.overlay:
+                    continue
+                candidates: list[int] = []
+                for dim in range(self.overlay.dims):
+                    candidates.extend(
+                        self.overlay.directional_neighbors(node, dim, sign)
+                    )
+                candidates = [c for c in candidates if c not in seen]
+                if not candidates:
+                    continue
+                k = min(self.replication_fanout, len(candidates))
+                picked = self.ctx.rng.choice(len(candidates), size=k, replace=False)
+                for i in picked:
+                    c = candidates[i]
+                    seen.add(c)
+                    nxt.append(c)
+                    out.append(c)
+            frontier = nxt
+        return out
+
+    # ------------------------------------------------------------------
+    # query: duty node + sampled positive probing
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        demand = np.asarray(demand, dtype=np.float64)
+        point = self.ctx.normalize(demand)
+        try:
+            path = inscan_path(self.overlay, self.tables, requester, point)
+        except (RoutingError, KeyError):
+            callback([], 0)
+            return
+        messages = len(path) - 1
+        self.ctx.send_path(
+            "duty-query", path, self._on_duty, path[-1], demand, messages, callback
+        )
+
+    def _on_duty(
+        self,
+        duty: int,
+        demand: np.ndarray,
+        messages: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        now = self.ctx.sim.now
+        found: list[StateRecord] = []
+        cache = self.caches.get(duty)
+        if cache is not None:
+            found.extend(cache.qualified(demand, now, limit=self.params.delta))
+        if len(found) >= self.params.delta:
+            callback(found, messages)
+            return
+        probes = self._sampled_frontier(duty, sign=+1)[: self.max_probes]
+        self._probe_chain(duty, probes, demand, found, messages, callback)
+
+    def _probe_chain(
+        self,
+        current: int,
+        probes: list[int],
+        demand: np.ndarray,
+        found: list[StateRecord],
+        messages: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        if not probes or len({r.owner for r in found}) >= self.params.delta:
+            callback(found, messages)
+            return
+        nxt = probes.pop(0)
+        self.ctx.send(
+            "probe-query", current, nxt,
+            self._on_probe, nxt, probes, demand, found, messages + 1, callback,
+        )
+
+    def _on_probe(
+        self,
+        me: int,
+        probes: list[int],
+        demand: np.ndarray,
+        found: list[StateRecord],
+        messages: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        cache = self.caches.get(me)
+        if cache is not None:
+            need = self.params.delta - len({r.owner for r in found})
+            if need > 0:
+                found.extend(
+                    cache.qualified(
+                        demand, self.ctx.sim.now, limit=need,
+                        exclude={r.owner for r in found},
+                    )
+                )
+        self._probe_chain(me, probes, demand, found, messages, callback)

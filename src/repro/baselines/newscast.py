@@ -1,0 +1,202 @@
+"""Newscast gossip discovery (reference [26]; §IV-A baseline).
+
+Each node keeps a partial view of ``⌈log2 n⌉`` entries — (peer, availability,
+timestamp) — and periodically exchanges views with one random live peer;
+both sides keep the freshest entries of the union (plus a fresh self entry),
+which is the standard Newscast membership dynamic.
+
+Queries are "completely random over the partial-view cache" (§IV-B): a
+random walk of ``⌈log2 n⌉`` hops; every visited node contributes fresh view
+entries whose availability dominates the demand, and the walk proceeds to a
+random view peer.  This gives the baseline its characteristic behaviour:
+good dispersal (entries are uniformly random, so light demands spread over
+the whole system) but a poor matching rate for demanding queries (no
+structure directs the walk toward qualified records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.context import ProtocolContext
+from repro.core.protocol import DiscoveryProtocol, PIDCANParams
+from repro.core.state import StateRecord
+
+__all__ = ["NewscastProtocol", "ViewEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class ViewEntry:
+    """One cache line of a Newscast partial view."""
+
+    peer: int
+    availability: np.ndarray
+    timestamp: float
+
+
+class NewscastProtocol(DiscoveryProtocol):
+    """Unstructured gossip comparator."""
+
+    name = "newscast"
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        view_size: int | None = None,
+        walk_hops: int | None = None,
+    ):
+        self.ctx = ctx
+        self.params = params
+        self._view_size = view_size
+        self._walk_hops = walk_hops
+        self.views: dict[int, list[ViewEntry]] = {}
+        self._population = 0
+        self._next_qid = 0
+
+    # ------------------------------------------------------------------
+    # sizing (fan-out limited to log2 n, §IV-A)
+    # ------------------------------------------------------------------
+    def view_size(self) -> int:
+        if self._view_size is not None:
+            return self._view_size
+        return max(2, int(np.ceil(np.log2(max(self._population, 2)))))
+
+    def walk_hops(self) -> int:
+        if self._walk_hops is not None:
+            return self._walk_hops
+        return max(2, int(np.ceil(np.log2(max(self._population, 2)))))
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: list[int]) -> None:
+        ids = list(node_ids)
+        self._population = len(ids)
+        now = self.ctx.sim.now
+        size = self.view_size()
+        for node_id in ids:
+            peers = [p for p in ids if p != node_id]
+            k = min(size, len(peers))
+            picked = self.ctx.rng.choice(len(peers), size=k, replace=False) if k else []
+            self.views[node_id] = [
+                ViewEntry(peers[i], self.ctx.availability_of(peers[i]), now)
+                for i in picked
+            ]
+            self._arm_gossip(node_id)
+
+    def on_join(self, node_id: int) -> None:
+        self._population = max(self._population, len(self.views) + 1)
+        # A joiner learns an introducer at random — its view seeds from one
+        # live node's view, matching Newscast's join-by-contact.
+        intro = self.ctx.choice(sorted(self.views))
+        self.views[node_id] = list(self.views.get(intro, []))[: self.view_size()]
+        self._arm_gossip(node_id)
+
+    def on_leave(self, node_id: int) -> None:
+        self.views.pop(node_id, None)
+        # Stale entries pointing at the departed node age out of other
+        # views through the freshness truncation.
+
+    # ------------------------------------------------------------------
+    # gossip cycle
+    # ------------------------------------------------------------------
+    def _arm_gossip(self, node_id: int) -> None:
+        period = self.params.state_period
+
+        def tick() -> None:
+            if not self.ctx.is_alive(node_id):
+                return
+            self._gossip_once(node_id)
+            self.ctx.sim.schedule(period, tick)
+
+        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+
+    def _gossip_once(self, node_id: int) -> None:
+        view = self.views.get(node_id, [])
+        peer_ids = [e.peer for e in view if self.ctx.is_alive(e.peer)]
+        target = self.ctx.choice(peer_ids)
+        if target is None:
+            return
+        now = self.ctx.sim.now
+        my_view = self._with_self(node_id, view, now)
+        # Request + reply are charged; the merge happens at both ends after
+        # one round-trip delay.
+        self.ctx.send("gossip", node_id, target, self._on_gossip, node_id, target, my_view)
+
+    def _on_gossip(self, src: int, me: int, their_view: list[ViewEntry]) -> None:
+        now = self.ctx.sim.now
+        my_view = self._with_self(me, self.views.get(me, []), now)
+        self.views[me] = self._merge(my_view, their_view)
+        # reply with our (pre-merge) view
+        self.ctx.send("gossip", me, src, self._on_gossip_reply, src, my_view)
+
+    def _on_gossip_reply(self, me: int, their_view: list[ViewEntry]) -> None:
+        my_view = self.views.get(me)
+        if my_view is None:
+            return
+        self.views[me] = self._merge(my_view, their_view)
+
+    def _with_self(
+        self, node_id: int, view: list[ViewEntry], now: float
+    ) -> list[ViewEntry]:
+        entry = ViewEntry(node_id, self.ctx.availability_of(node_id), now)
+        return [entry] + [e for e in view if e.peer != node_id]
+
+    def _merge(self, a: list[ViewEntry], b: list[ViewEntry]) -> list[ViewEntry]:
+        freshest: dict[int, ViewEntry] = {}
+        for e in list(a) + list(b):
+            old = freshest.get(e.peer)
+            if old is None or old.timestamp < e.timestamp:
+                freshest[e.peer] = e
+        merged = sorted(
+            freshest.values(), key=lambda e: (-e.timestamp, e.peer)
+        )
+        return merged[: self.view_size()]
+
+    # ------------------------------------------------------------------
+    # query: random walk over views
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        demand = np.asarray(demand, dtype=np.float64)
+        self._next_qid += 1
+        self._walk(requester, demand, self.walk_hops(), [], 0, callback)
+
+    def _walk(
+        self,
+        node_id: int,
+        demand: np.ndarray,
+        hops_left: int,
+        found: list[StateRecord],
+        messages: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        now = self.ctx.sim.now
+        view = self.views.get(node_id, [])
+        fresh_cutoff = now - self.params.state_ttl
+        for entry in view:
+            if entry.timestamp < fresh_cutoff:
+                continue
+            if bool(np.all(entry.availability >= demand - 1e-9)):
+                found.append(StateRecord(entry.peer, entry.availability, entry.timestamp))
+        if len({r.owner for r in found}) >= self.params.delta or hops_left <= 0:
+            callback(found, messages)
+            return
+        nxt = self.ctx.choice(
+            [e.peer for e in view if e.timestamp >= fresh_cutoff and self.ctx.is_alive(e.peer)]
+        )
+        if nxt is None:
+            callback(found, messages)
+            return
+        self.ctx.send(
+            "walk-query", node_id, nxt,
+            self._walk, nxt, demand, hops_left - 1, found, messages + 1, callback,
+        )

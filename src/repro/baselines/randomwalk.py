@@ -1,0 +1,153 @@
+"""Random-walk query routing after duty-node location — the §III-A strawman.
+
+"A straightforward solution is using a random-walk query routing method
+after locating the boundary-corner node.  However, in the situation with
+scarce available resources, random-walk query routing may hardly find
+qualified resources, significantly degrading resource matching rate."
+
+State updates route to duty nodes exactly as in PID-CAN, but there is *no*
+index diffusion: the query walks randomly through positive-direction
+neighbors hoping to stumble on caches holding qualified records.  Kept as
+an ablation showing what the proactive index diffusion buys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.protocol import DiscoveryProtocol, PIDCANParams
+from repro.core.state import StateCache, StateRecord
+
+__all__ = ["RandomWalkProtocol"]
+
+
+class RandomWalkProtocol(DiscoveryProtocol):
+    """Duty-node location + positive-direction random walk."""
+
+    name = "randomwalk-can"
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        walk_hops: int = 12,
+    ):
+        self.ctx = ctx
+        self.params = params
+        self.walk_hops = walk_hops
+        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
+        self.caches: dict[int, StateCache] = {}
+        self.tables: dict[int, IndexPointerTable] = {}
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: list[int]) -> None:
+        self.overlay.bootstrap(node_ids)
+        for node_id in node_ids:
+            self.caches[node_id] = StateCache(self.params.state_ttl)
+        for node_id in node_ids:
+            self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
+        for node_id in node_ids:
+            self._arm_state_updates(node_id)
+
+    def on_join(self, node_id: int) -> None:
+        self.overlay.join(node_id)
+        self.caches[node_id] = StateCache(self.params.state_ttl)
+        self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
+        self._arm_state_updates(node_id)
+
+    def on_leave(self, node_id: int) -> None:
+        if node_id in self.overlay:
+            self.overlay.leave(node_id)
+        self.caches.pop(node_id, None)
+        self.tables.pop(node_id, None)
+
+    def _arm_state_updates(self, node_id: int) -> None:
+        period = self.params.state_period
+
+        def tick() -> None:
+            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
+                return
+            self._state_update(node_id)
+            self.ctx.sim.schedule(period, tick)
+
+        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+
+    def _state_update(self, node_id: int) -> None:
+        availability = self.ctx.availability_of(node_id)
+        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
+        try:
+            path = inscan_path(
+                self.overlay, self.tables, node_id, self.ctx.normalize(availability)
+            )
+        except (RoutingError, KeyError):
+            return
+        self.ctx.send_path(
+            "state-update", path, self._deliver_state, path[-1], record
+        )
+
+    def _deliver_state(self, duty: int, record: StateRecord) -> None:
+        cache = self.caches.get(duty)
+        if cache is not None:
+            cache.put(record)
+
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        demand = np.asarray(demand, dtype=np.float64)
+        try:
+            path = inscan_path(
+                self.overlay, self.tables, requester, self.ctx.normalize(demand)
+            )
+        except (RoutingError, KeyError):
+            callback([], 0)
+            return
+        messages = len(path) - 1
+        self.ctx.send_path(
+            "duty-query", path,
+            self._on_step, path[-1], demand, self.walk_hops, [], messages, callback,
+        )
+
+    def _on_step(
+        self,
+        me: int,
+        demand: np.ndarray,
+        hops_left: int,
+        found: list[StateRecord],
+        messages: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        cache = self.caches.get(me)
+        if cache is not None:
+            need = self.params.delta - len({r.owner for r in found})
+            if need > 0:
+                found.extend(
+                    cache.qualified(
+                        demand, self.ctx.sim.now, limit=need,
+                        exclude={r.owner for r in found},
+                    )
+                )
+        if hops_left <= 0 or len({r.owner for r in found}) >= self.params.delta:
+            callback(found, messages)
+            return
+        candidates: list[int] = []
+        if me in self.overlay:
+            for dim in range(self.overlay.dims):
+                candidates.extend(self.overlay.directional_neighbors(me, dim, +1))
+        nxt = self.ctx.choice(candidates)
+        if nxt is None:
+            callback(found, messages)
+            return
+        self.ctx.send(
+            "walk-query", me, nxt,
+            self._on_step, nxt, demand, hops_left - 1, found, messages + 1, callback,
+        )

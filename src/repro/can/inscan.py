@@ -1,0 +1,136 @@
+"""INSCAN: CAN augmented with 2^k-hop index pointers (§III-A).
+
+Every node keeps, per dimension and direction, pointers to sampled nodes at
+hop distances 1, 2, 4, ... 2^K reached by a randomized directional walk
+through adjacent neighbors (the paper refreshes these "by flooding the
+querying messages to its neighbors along the d dimensions until reaching the
+edge of the CAN space").  With the pointers as extra greedy-routing links,
+lookups take O(log2 n) hops instead of CAN's O(n^(1/d)).
+
+The same tables supply the *negative-index nodes* (NINodes) that the
+proactive index diffusion of §III-B sends to: targets at distance 2^k,
+k ≥ 1, in the negative direction of a dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.can.overlay import CANOverlay
+from repro.can.routing import greedy_path
+
+__all__ = [
+    "IndexPointerTable",
+    "build_index_table",
+    "inscan_path",
+    "max_pointer_exponent",
+]
+
+
+def max_pointer_exponent(n_nodes: int, dims: int) -> int:
+    """``⌊log2 n^(1/d)⌋`` — the paper's bound on the pointer exponent k."""
+    if n_nodes < 2:
+        return 0
+    per_dim = n_nodes ** (1.0 / dims)
+    return max(0, int(np.floor(np.log2(per_dim))))
+
+
+class IndexPointerTable:
+    """Per-node directional long-link table.
+
+    ``links[(dim, sign)]`` is the list of node ids at walk distances
+    ``2^0, 2^1, ...`` (index = exponent k).  Entries may go stale under
+    churn; routing skips dead ids and the table is refreshed periodically.
+    """
+
+    __slots__ = ("node_id", "links", "build_messages")
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.links: dict[tuple[int, int], list[int]] = {}
+        #: directional-walk steps spent building the table (traffic charge)
+        self.build_messages = 0
+
+    def pointers(self, dim: int, sign: int) -> list[int]:
+        return self.links.get((dim, sign), [])
+
+    def all_links(self) -> list[int]:
+        out: list[int] = []
+        for ids in self.links.values():
+            out.extend(ids)
+        return out
+
+    def negative_index_nodes(self, dim: int, min_exponent: int = 0) -> list[int]:
+        """NINodes along ``dim``: negative-direction pointers at distances
+        2^k, k ≥ ``min_exponent``.
+
+        The k=0 (adjacent) pointer is part of the set: Theorem 1's binary
+        decomposition of relay distances (13 = 8 + 4 + 1) requires the
+        2^0 link, otherwise odd distances would be unreachable."""
+        return self.pointers(dim, -1)[min_exponent:]
+
+
+def build_index_table(
+    overlay: CANOverlay,
+    node_id: int,
+    rng: np.random.Generator,
+    max_exponent: Optional[int] = None,
+) -> IndexPointerTable:
+    """Build the pointer table for ``node_id`` by randomized directional
+    walks; the walk length is charged as ``build_messages``."""
+    if max_exponent is None:
+        max_exponent = max_pointer_exponent(len(overlay), overlay.dims)
+    table = IndexPointerTable(node_id)
+    for dim in range(overlay.dims):
+        for sign in (+1, -1):
+            chain: list[int] = []
+            current = node_id
+            target_hops = 1 << max_exponent
+            hop = 0
+            while hop < target_hops:
+                nxt = _step_directional(overlay, current, dim, sign, rng)
+                if nxt is None:
+                    break  # reached the edge of the CAN space
+                hop += 1
+                table.build_messages += 1
+                current = nxt
+                if hop == (1 << len(chain)):
+                    chain.append(current)
+            if chain:
+                table.links[(dim, sign)] = chain
+    return table
+
+
+def _step_directional(
+    overlay: CANOverlay,
+    node_id: int,
+    dim: int,
+    sign: int,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """One randomized hop across the ``(dim, sign)`` face, or None at the
+    space edge."""
+    candidates = overlay.directional_neighbors(node_id, dim, sign)
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    return int(candidates[int(rng.integers(len(candidates)))])
+
+
+def inscan_path(
+    overlay: CANOverlay,
+    tables: dict[int, IndexPointerTable],
+    start_id: int,
+    point: np.ndarray,
+    max_hops: Optional[int] = None,
+) -> list[int]:
+    """Greedy routing over neighbors ∪ index pointers — O(log2 n) hops."""
+
+    def extra(node_id: int) -> list[int]:
+        table = tables.get(node_id)
+        return table.all_links() if table is not None else []
+
+    return greedy_path(overlay, start_id, point, max_hops=max_hops, extra_links=extra)

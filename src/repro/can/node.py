@@ -1,0 +1,38 @@
+"""Per-node overlay state: the owned zone and the adjacency set."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.can.zone import Zone, adjacency_direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.can.partition_tree import TreeLeaf
+
+__all__ = ["OverlayNode"]
+
+
+class OverlayNode:
+    """One CAN participant: a zone plus its face-adjacent neighbor ids.
+
+    The zone is read through the partition-tree leaf so that tree repairs
+    (merges, relocations) are immediately visible here.
+    """
+
+    __slots__ = ("node_id", "leaf", "neighbors")
+
+    def __init__(self, node_id: int, leaf: "TreeLeaf"):
+        self.node_id = node_id
+        self.leaf = leaf
+        self.neighbors: set[int] = set()
+
+    @property
+    def zone(self) -> Zone:
+        return self.leaf.zone
+
+    def neighbor_direction(self, other: "OverlayNode") -> Optional[tuple[int, int]]:
+        """``(dim, sign)`` of the shared face, or None if not adjacent."""
+        return adjacency_direction(self.zone, other.zone)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OverlayNode({self.node_id}, {self.zone}, deg={len(self.neighbors)})"

@@ -1,0 +1,207 @@
+"""The CAN overlay: membership, zone assignment and neighbor maintenance.
+
+Joins follow CAN [14]: the joiner picks a random point P, the owner of P's
+zone halves its zone along the canonical (depth-cycling) dimension and hands
+the half containing P to the joiner.  Departures run the partition-tree
+takeover (see :mod:`repro.can.partition_tree`).
+
+Neighbor maintenance is *local*: when a zone changes, only nodes that were
+adjacent to the affected zones can gain or lose adjacency, because
+- a split half is contained in the split zone,
+- a merged zone is exactly the union of its two halves, and
+- a relocated owner takes over an existing zone verbatim.
+
+So recomputing adjacency over the union of the old neighborhoods is
+complete.  ``check_invariants`` cross-checks this against a brute-force
+recomputation in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.can.node import OverlayNode
+from repro.can.partition_tree import PartitionTree, TakeoverPlan
+from repro.can.zone import adjacency_direction
+
+__all__ = ["CANOverlay"]
+
+
+class CANOverlay:
+    """A complete, consistent CAN overlay over ``[0,1]^dims``."""
+
+    def __init__(self, dims: int, rng: np.random.Generator):
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self._rng = rng
+        self.nodes: dict[int, OverlayNode] = {}
+        self.tree: Optional[PartitionTree] = None
+
+    # ------------------------------------------------------------------
+    # membership queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def node_ids(self) -> list[int]:
+        return list(self.nodes)
+
+    def owner_of(self, point: np.ndarray) -> int:
+        """The node whose zone contains ``point``."""
+        if self.tree is None:
+            raise LookupError("overlay is empty")
+        return self.tree.find_leaf(np.asarray(point, dtype=np.float64)).owner
+
+    def directional_neighbors(
+        self, node_id: int, dim: int, sign: int
+    ) -> list[int]:
+        """Adjacent neighbors across the ``(dim, sign)`` face, sorted for
+        determinism."""
+        node = self.nodes[node_id]
+        out = []
+        for m in node.neighbors:
+            d = adjacency_direction(node.zone, self.nodes[m].zone)
+            if d is not None and d == (dim, sign):
+                out.append(m)
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: Iterable[int]) -> None:
+        """Build the overlay by sequential random joins — produces the
+        realistically skewed zone-size distribution the paper's §I notes
+        (records 'intensively stored in only a few small-zone nodes')."""
+        for node_id in node_ids:
+            self.join(node_id)
+
+    def random_point(self) -> np.ndarray:
+        return self._rng.uniform(0.0, 1.0, size=self.dims)
+
+    def join(self, node_id: int, point: Optional[np.ndarray] = None) -> OverlayNode:
+        """Add ``node_id``, splitting the zone containing ``point``."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already joined")
+        if self.tree is None or not self.nodes:
+            self.tree = PartitionTree(self.dims, node_id)
+            node = OverlayNode(node_id, self.tree.leaf_of(node_id))
+            self.nodes[node_id] = node
+            return node
+
+        p = self.random_point() if point is None else np.asarray(point, np.float64)
+        owner_leaf = self.tree.find_leaf(p)
+        owner_id = owner_leaf.owner
+        owner = self.nodes[owner_id]
+        old_neighbors = set(owner.neighbors)
+
+        kept_leaf, new_leaf = self.tree.split(owner_id, node_id, p)
+        owner.leaf = kept_leaf
+        new_node = OverlayNode(node_id, new_leaf)
+        self.nodes[node_id] = new_node
+
+        # Rebind adjacency among {owner, joiner} ∪ previous neighborhood.
+        self._rebind_neighbors(owner_id, old_neighbors | {node_id})
+        self._rebind_neighbors(node_id, old_neighbors | {owner_id})
+        return new_node
+
+    # ------------------------------------------------------------------
+    # departure
+    # ------------------------------------------------------------------
+    def leave(self, node_id: int) -> Optional[TakeoverPlan]:
+        """Remove ``node_id`` (graceful or crash — topology repair is the
+        same; message loss for crashes is the transport's concern)."""
+        node = self.nodes.pop(node_id)
+        departed_neighbors = set(node.neighbors)
+        for m in departed_neighbors:
+            self.nodes[m].neighbors.discard(node_id)
+
+        assert self.tree is not None
+        plan = self.tree.remove(node_id)
+        if plan is None:
+            self.tree = None
+            return None
+
+        absorber = self.nodes[plan.absorber]
+        absorber_old = set(absorber.neighbors)
+        absorber.leaf = plan.absorber_leaf
+
+        if plan.mover is None:
+            # Sibling merge: absorber's zone grew to cover the departed
+            # zone; candidates are both old neighborhoods.
+            self._rebind_neighbors(
+                plan.absorber, absorber_old | departed_neighbors
+            )
+        else:
+            mover = self.nodes[plan.mover]
+            mover_old = set(mover.neighbors)
+            assert plan.mover_leaf is not None
+            mover.leaf = plan.mover_leaf
+            # The absorber swallowed the mover's old zone: candidates are
+            # its own old neighbors plus the mover's.
+            self._rebind_neighbors(plan.absorber, absorber_old | mover_old)
+            # The mover relocated into the departed zone: candidates are
+            # the departed node's neighbors (plus the absorber, which now
+            # owns the zone the mover vacated, and its old neighbors for
+            # the removal side of rebinding).
+            self._rebind_neighbors(
+                plan.mover, departed_neighbors | mover_old | {plan.absorber}
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # adjacency maintenance
+    # ------------------------------------------------------------------
+    def _rebind_neighbors(self, node_id: int, candidates: set[int]) -> None:
+        """Recompute ``node_id``'s adjacency against ``candidates`` and make
+        the affected edges symmetric.  Candidates not actually adjacent are
+        removed if previously linked."""
+        node = self.nodes[node_id]
+        for cand_id in candidates:
+            if cand_id == node_id:
+                continue
+            cand = self.nodes.get(cand_id)
+            if cand is None:
+                continue
+            if adjacency_direction(node.zone, cand.zone) is not None:
+                node.neighbors.add(cand_id)
+                cand.neighbors.add(node_id)
+            else:
+                node.neighbors.discard(cand_id)
+                cand.neighbors.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # invariants (test support; O(n^2))
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Full structural validation: tree consistency, leaf binding, and
+        brute-force adjacency equality."""
+        if not self.nodes:
+            assert self.tree is None or len(self.tree) == 0
+            return
+        assert self.tree is not None
+        self.tree.check_invariants()
+        assert set(self.tree.owners()) == set(self.nodes)
+        for node_id, node in self.nodes.items():
+            assert self.tree.leaf_of(node_id) is node.leaf, (
+                f"node {node_id} leaf binding stale"
+            )
+        ids = sorted(self.nodes)
+        for i, a in enumerate(ids):
+            za = self.nodes[a].zone
+            for b in ids[i + 1 :]:
+                zb = self.nodes[b].zone
+                adjacent = adjacency_direction(za, zb) is not None
+                linked = b in self.nodes[a].neighbors
+                linked_sym = a in self.nodes[b].neighbors
+                assert linked == linked_sym, f"asymmetric edge {a}-{b}"
+                assert linked == adjacent, (
+                    f"edge {a}-{b}: linked={linked} adjacent={adjacent} "
+                    f"zones {za} {zb}"
+                )

@@ -1,0 +1,40 @@
+"""Self-Organizing Cloud substrate.
+
+Implements §II of the paper: host machines with multi-dimensional resource
+capacities (Table I), user tasks with minimal-demand expectation vectors
+(Table II), the proportional-share model (Eq. 1) with Xen-style per-VM
+maintenance overhead, and the event-driven task executor whose piecewise
+constant shares drive actual completion times.
+"""
+
+from repro.cloud.resources import (
+    RESOURCE_DIMS,
+    WORK_DIMS,
+    ResourceVector,
+    dominates,
+)
+from repro.cloud.machine import MachineConfig, sample_machine, CMAX
+from repro.cloud.tasks import Task, TaskFactory
+from repro.cloud.workload import PoissonWorkload
+from repro.cloud.psm import effective_capacity, allocate_shares, VMOverhead
+from repro.cloud.executor import NodeExecutor
+from repro.cloud.checkpoint import CheckpointStore, CheckpointSnapshot
+
+__all__ = [
+    "RESOURCE_DIMS",
+    "WORK_DIMS",
+    "ResourceVector",
+    "dominates",
+    "MachineConfig",
+    "sample_machine",
+    "CMAX",
+    "Task",
+    "TaskFactory",
+    "PoissonWorkload",
+    "effective_capacity",
+    "allocate_shares",
+    "VMOverhead",
+    "NodeExecutor",
+    "CheckpointStore",
+    "CheckpointSnapshot",
+]

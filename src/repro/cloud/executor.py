@@ -1,0 +1,175 @@
+"""Event-driven proportional-share task executor (the emulated credit
+scheduler of §IV-A).
+
+Shares are piecewise constant between *scheduling points* (a task placement
+or completion on the node).  The executor integrates work progress between
+points, recomputes PSM shares after every change, and predicts the next
+completion time so the simulation can schedule exactly one event per
+completion — the same event-count discipline Peersim's event-driven mode
+gives the paper.
+
+The executor itself is simulation-agnostic: callers drive it with absolute
+timestamps and read back the predicted next completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.psm import VMOverhead, DEFAULT_OVERHEAD, effective_capacity
+from repro.cloud.tasks import Task, N_WORK_DIMS
+
+__all__ = ["NodeExecutor", "RunningTask"]
+
+#: Work below this is treated as done (guards float round-off at completion).
+_WORK_EPS = 1e-6
+
+
+@dataclass(slots=True)
+class RunningTask:
+    """A resident task plus its current progress rates on the work dims."""
+
+    task: Task
+    rates: np.ndarray  # (3,) work units per second
+
+
+class NodeExecutor:
+    """Executes tasks on one host under PSM sharing.
+
+    Usage pattern (driven by the simulation runner)::
+
+        ex.place(task, now)           # or ex.remove(task_id, now)
+        t, task = ex.next_completion()
+        ... schedule completion event at t ...
+        done = ex.complete(task_id, t)
+    """
+
+    def __init__(self, capacity: np.ndarray, overhead: VMOverhead = DEFAULT_OVERHEAD):
+        self.capacity = np.asarray(capacity, dtype=np.float64)
+        self.overhead = overhead
+        self._running: dict[int, RunningTask] = {}
+        self._last_update = 0.0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def running_tasks(self) -> list[Task]:
+        return [rt.task for rt in self._running.values()]
+
+    def load(self) -> np.ndarray:
+        """``l_i`` — aggregated expectation of resident tasks (§II)."""
+        if not self._running:
+            return np.zeros_like(self.capacity)
+        return np.sum([rt.task.expectation for rt in self._running.values()], axis=0)
+
+    def effective_capacity(self) -> np.ndarray:
+        return effective_capacity(self.capacity, len(self._running), self.overhead)
+
+    def availability(self, now: float) -> np.ndarray:
+        """``a_i = c_i − l_i`` clipped at zero, with capacity first reduced
+        by the VM maintenance overhead of the resident instances."""
+        self.advance(now)
+        avail = self.effective_capacity() - self.load()
+        return np.maximum(avail, 0.0)
+
+    def is_overloaded(self) -> bool:
+        """True when some dimension is over-subscribed (shares < demand)."""
+        if not self._running:
+            return False
+        load = self.load()
+        eff = self.effective_capacity()
+        return bool(np.any(load > eff + 1e-12))
+
+    # ------------------------------------------------------------------
+    # progress integration
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Integrate all running tasks' progress up to ``now``."""
+        dt = now - self._last_update
+        if dt < 0:
+            raise ValueError(f"time went backwards: {now} < {self._last_update}")
+        if dt > 0:
+            for rt in self._running.values():
+                rt.task.remaining_work -= rt.rates * dt
+                np.maximum(rt.task.remaining_work, 0.0, out=rt.task.remaining_work)
+        self._last_update = now
+
+    def _reshare(self) -> None:
+        """Recompute PSM shares and per-task progress rates (Eq. 1)."""
+        if not self._running:
+            return
+        eff = self.effective_capacity()
+        load = self.load()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(load > 0, eff / load, 0.0)[:N_WORK_DIMS]
+        for rt in self._running.values():
+            rt.rates = rt.task.expectation[:N_WORK_DIMS] * scale
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def place(self, task: Task, now: float) -> None:
+        """Admit ``task``; all resident shares are re-computed."""
+        if task.task_id in self._running:
+            raise ValueError(f"task {task.task_id} already running here")
+        self.advance(now)
+        task.start_time = now
+        self._running[task.task_id] = RunningTask(task, np.zeros(N_WORK_DIMS))
+        self._reshare()
+
+    def remove(self, task_id: int, now: float) -> Task:
+        """Evict a task (e.g. node churned out); returns it unfinished."""
+        self.advance(now)
+        rt = self._running.pop(task_id)
+        self._reshare()
+        return rt.task
+
+    def complete(self, task_id: int, now: float) -> Task:
+        """Finish a task whose predicted completion time has arrived."""
+        self.advance(now)
+        rt = self._running.pop(task_id)
+        if float(rt.task.remaining_work.max()) > 1e-3:
+            raise RuntimeError(
+                f"task {task_id} completed with work left: {rt.task.remaining_work}"
+            )
+        rt.task.remaining_work[:] = 0.0
+        rt.task.finish_time = now
+        self._reshare()
+        return rt.task
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def next_completion(self) -> Optional[tuple[float, Task]]:
+        """``(time, task)`` of the earliest finishing resident task under the
+        *current* shares, or ``None``.  Must be re-queried after any
+        place/remove/complete since shares shift at every scheduling point.
+        """
+        best: Optional[tuple[float, Task]] = None
+        for rt in self._running.values():
+            t = self._time_to_finish(rt)
+            if t is None:
+                continue
+            when = self._last_update + t
+            if best is None or when < best[0]:
+                best = (when, rt.task)
+        return best
+
+    @staticmethod
+    def _time_to_finish(rt: RunningTask) -> Optional[float]:
+        remaining = rt.task.remaining_work
+        rates = rt.rates
+        # A dimension with leftover work but zero rate stalls the task.
+        stalled = (remaining > _WORK_EPS) & (rates <= 0)
+        if bool(stalled.any()):
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_dim = np.where(remaining > _WORK_EPS, remaining / rates, 0.0)
+        return float(per_dim.max())

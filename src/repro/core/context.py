@@ -1,0 +1,121 @@
+"""The services a discovery protocol needs from the simulation harness.
+
+Bundles the simulator, the physical network model, traffic accounting and
+host-state lookups behind one object so protocol implementations read like
+the paper's pseudo-code: ``ctx.send(...)`` is "send a message", with the
+delay model, per-hop charging and dead-destination drops handled here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.traffic import TrafficMeter
+from repro.sim.engine import Simulator
+from repro.sim.network import CONTROL_MSG_BITS, NetworkModel
+
+__all__ = ["ProtocolContext"]
+
+
+class ProtocolContext:
+    """Runtime services shared by every protocol instance.
+
+    Parameters
+    ----------
+    availability_of:
+        ``node_id -> availability vector a_i`` evaluated *now* (§II); the
+        runner wires this to the PSM executors.
+    is_alive:
+        membership test honoring churn.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: NetworkModel,
+        traffic: TrafficMeter,
+        rng: np.random.Generator,
+        cmax: np.ndarray,
+        availability_of: Callable[[int], np.ndarray],
+        is_alive: Callable[[int], bool],
+    ):
+        self.sim = sim
+        self.network = network
+        self.traffic = traffic
+        self.rng = rng
+        self.cmax = np.asarray(cmax, dtype=np.float64)
+        self.availability_of = availability_of
+        self.is_alive = is_alive
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        kind: str,
+        src: int,
+        dst: int,
+        handler: Callable[..., None],
+        *args,
+        size_bits: float = CONTROL_MSG_BITS,
+    ) -> None:
+        """Deliver ``handler(*args)`` at ``dst`` after the transfer delay.
+
+        One message is charged to ``src``.  If the destination has churned
+        out by delivery time the message is silently dropped (the paper's
+        crash model; requesters recover via query timeouts).
+        """
+        self.traffic.charge(kind, src)
+        delay = self.network.delay(src, dst, size_bits)
+        self.sim.schedule(delay, self._deliver, dst, handler, args)
+
+    def send_path(
+        self,
+        kind: str,
+        path: Sequence[int],
+        handler: Callable[..., None],
+        *args,
+        size_bits: float = CONTROL_MSG_BITS,
+    ) -> None:
+        """Deliver at ``path[-1]`` after the summed per-hop delay, charging
+        one message to every forwarding node on the path.
+
+        This is the in-process multi-hop shortcut: identical traffic and
+        latency accounting to per-hop events, at one event per route.
+        """
+        if len(path) < 1:
+            raise ValueError("empty path")
+        for sender in path[:-1]:
+            self.traffic.charge(kind, sender)
+        delay = self.network.path_delay(list(path), size_bits)
+        self.sim.schedule(delay, self._deliver, path[-1], handler, args)
+
+    def charge_local(self, kind: str, node_id: int, n: int = 1) -> None:
+        """Charge messages without scheduling delivery (in-process bursts
+        such as the diffusion tree expansion)."""
+        for _ in range(n):
+            self.traffic.charge(kind, node_id)
+
+    def _deliver(self, dst: int, handler: Callable[..., None], args: tuple) -> None:
+        if not self.is_alive(dst):
+            self.traffic.charge("dropped", dst)
+            return
+        handler(*args)
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def normalize(self, vector: np.ndarray) -> np.ndarray:
+        """Map a resource vector into the CAN key space ``[0,1]^d``."""
+        return np.clip(np.asarray(vector, dtype=np.float64) / self.cmax, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def choice(self, items: Sequence, exclude: Optional[set] = None):
+        """Uniform random pick (deterministic under the ctx stream), or
+        ``None`` when nothing is eligible."""
+        pool = [x for x in items if not exclude or x not in exclude]
+        if not pool:
+            return None
+        return pool[int(self.rng.integers(len(pool)))]

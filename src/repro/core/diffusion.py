@@ -1,0 +1,240 @@
+"""Proactive index diffusion — Algorithms 1 and 2 of the paper (§III-B).
+
+A node whose state cache γ is non-empty periodically diffuses its identifier
+*backwards*: an index message ``{ID, dim_NO, dim_TTL}`` travels to randomly
+selected negative-index nodes (NINodes — pointer-table entries at distance
+2^k, k ≥ 1, in the negative direction).  Receivers append the identifier to
+their PIList and relay:
+
+- along the same dimension while the dimension TTL ``q`` lasts, and
+- a fresh chain with TTL ``L`` along the next dimension.
+
+Two variants (Fig. 3):
+
+``hid``  *Hopping* Index Diffusion — each relay re-selects the next NINode
+         from **its own** pointer table, so distances compound
+         (2^a + 2^b + ...) and coverage reaches deep into the negative
+         region; Theorem 1 bounds the relay delay by O(log2 n).
+``sid``  *Spreading* Index Diffusion — each dimension chain's recipients
+         are all chosen by the **chain initiator** from its own table, so
+         coverage stays on the initiator's axis tracks (fewer relay hops,
+         narrower spread).
+
+Both send exactly ``ω = L + L² + ... + L^d`` messages per trigger when every
+hop finds a live NINode (fewer at the space edge).
+
+The tree expansion runs in-process: relays complete within a few network
+delays (≪ the diffusion period), so recipients' PILists are updated
+immediately while every relay message is charged to its sender.  The
+returned :class:`DiffusionResult` records the relay depth for the delay
+analysis of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can.inscan import IndexPointerTable
+from repro.core.context import ProtocolContext
+from repro.core.pilist import PIList
+
+__all__ = [
+    "DiffusionEngine",
+    "DiffusionResult",
+    "diffusion_message_count",
+    "binary_hop_decomposition",
+    "line_diffusion_rounds",
+]
+
+
+def diffusion_message_count(L: int, d: int) -> int:
+    """ω = L·(L^d − 1)/(L − 1) — total index messages per trigger (§III-B).
+
+    The paper's worked example: L=2, d=3 → 14.
+    """
+    if L < 1 or d < 1:
+        raise ValueError("L and d must be >= 1")
+    if L == 1:
+        return d
+    return L * (L**d - 1) // (L - 1)
+
+
+def binary_hop_decomposition(distance: int) -> list[int]:
+    """Decompose a hop distance into powers of two (Theorem 1's proof
+    device): the relay chain covers distance λ in h = popcount(λ) hops,
+    with h ≤ ⌊log2 λ⌋ + 1.
+
+    >>> binary_hop_decomposition(13)
+    [8, 4, 1]
+    """
+    if distance < 1:
+        raise ValueError("distance must be >= 1")
+    return [1 << k for k in range(distance.bit_length() - 1, -1, -1) if distance >> k & 1]
+
+
+def line_diffusion_rounds(r: int) -> list[int]:
+    """Relay rounds at which each node of a line of ``r`` nodes receives the
+    topmost node's index when every node links 2^k backwards (Fig. 2).
+
+    Node ``i`` (0-based from the top) is reached after ``popcount(i)``
+    relay hops; the maximum over the line is ≤ ⌈log2 r⌉, which is the
+    claim of Theorem 1 restricted to one dimension.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    return [int(i).bit_count() for i in range(r)]
+
+
+@dataclass
+class DiffusionResult:
+    """Outcome of one diffusion trigger."""
+
+    origin: int
+    messages: int = 0
+    max_depth: int = 0
+    recipients: set[int] = field(default_factory=set)
+
+
+class DiffusionEngine:
+    """Executes SID/HID triggers against the live pointer tables/PILists."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        tables: dict[int, IndexPointerTable],
+        pilists: dict[int, PIList],
+        dims: int,
+        L: int = 2,
+        kind: str = "index-diffusion",
+    ):
+        if L < 1:
+            raise ValueError("L must be >= 1")
+        self.ctx = ctx
+        self.tables = tables
+        self.pilists = pilists
+        self.dims = dims
+        self.L = L
+        self.kind = kind
+
+    # ------------------------------------------------------------------
+    def diffuse(self, origin: int, method: str) -> DiffusionResult:
+        """Run one Algorithm-1 trigger for ``origin``; returns statistics."""
+        result = DiffusionResult(origin)
+        if method == "hid":
+            # Algorithm 1: one message {ID, dim 1, L} to a random NINode.
+            # Nodes at the negative edge of dimension 1 have no NINode
+            # there (the space is not a torus); the chain starts at the
+            # first dimension that has one, otherwise dims 2..d would
+            # never be reached and low-corner record holders — exactly
+            # where availability records concentrate — could not diffuse.
+            for dim in range(self.dims):
+                target = self._pick_ninode(origin, dim, exclude=origin)
+                if target is not None:
+                    self._send(origin, target, result)
+                    self._hid_receive(target, origin, dim, self.L, result, depth=1)
+                    break
+        elif method == "sid":
+            self._sid_chain(origin, origin, 0, result, depth=1)
+        else:
+            raise ValueError(f"unknown diffusion method {method!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    # HID: Algorithm 2 — every relay re-selects from its own table
+    # ------------------------------------------------------------------
+    def _hid_receive(
+        self,
+        node: int,
+        origin: int,
+        dim: int,
+        q: int,
+        result: DiffusionResult,
+        depth: int,
+    ) -> None:
+        self._store(node, origin, result, depth)
+        # Line 1-4: continue the chain along the same dimension; a relay
+        # sitting at the space edge of that dimension reassigns the
+        # residual TTL to the next dimension that has an NINode, so the
+        # message budget ω is spent instead of silently discarded.
+        if q - 1 > 0:
+            nxt_dim, nxt = self._first_available(node, dim, exclude=origin)
+            if nxt is not None:
+                self._send(node, nxt, result)
+                self._hid_receive(nxt, origin, nxt_dim, q - 1, result, depth + 1)
+        # Line 5-9: open the next dimension with a fresh TTL (again
+        # skipping over edge dimensions).
+        nxt_dim, nxt = self._first_available(node, dim + 1, exclude=origin)
+        if nxt is not None:
+            self._send(node, nxt, result)
+            self._hid_receive(nxt, origin, nxt_dim, self.L, result, depth + 1)
+
+    def _first_available(
+        self, node: int, start_dim: int, exclude: int
+    ) -> tuple[int, int | None]:
+        """First dimension ≥ ``start_dim`` with a live NINode, plus one
+        random pick from it."""
+        for dim in range(start_dim, self.dims):
+            pick = self._pick_ninode(node, dim, exclude)
+            if pick is not None:
+                return dim, pick
+        return self.dims, None
+
+    # ------------------------------------------------------------------
+    # SID: the chain initiator picks every recipient from its own table
+    # ------------------------------------------------------------------
+    def _sid_chain(
+        self,
+        initiator: int,
+        origin: int,
+        dim: int,
+        result: DiffusionResult,
+        depth: int,
+    ) -> None:
+        # Like HID, skip over dimensions where the initiator sits at the
+        # space edge, otherwise the remaining dimensions are lost.
+        targets: list[int] = []
+        while dim < self.dims:
+            targets = self._pick_ninodes(initiator, dim, self.L, exclude=origin)
+            if targets:
+                break
+            dim += 1
+        for target in targets:
+            self._send(initiator, target, result)
+            self._store(target, origin, result, depth)
+            if dim + 1 < self.dims:
+                self._sid_chain(target, origin, dim + 1, result, depth + 1)
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _store(self, node: int, origin: int, result: DiffusionResult, depth: int) -> None:
+        pilist = self.pilists.get(node)
+        if pilist is not None and node != origin:
+            pilist.add(origin, self.ctx.sim.now)
+        result.recipients.add(node)
+        result.max_depth = max(result.max_depth, depth)
+
+    def _send(self, src: int, dst: int, result: DiffusionResult) -> None:
+        self.ctx.charge_local(self.kind, src)
+        result.messages += 1
+
+    def _pick_ninode(self, node: int, dim: int, exclude: int) -> int | None:
+        """One random negative-index node of ``node`` along ``dim``."""
+        picks = self._pick_ninodes(node, dim, 1, exclude)
+        return picks[0] if picks else None
+
+    def _pick_ninodes(self, node: int, dim: int, k: int, exclude: int) -> list[int]:
+        table = self.tables.get(node)
+        if table is None:
+            return []
+        pool = [
+            t
+            for t in table.negative_index_nodes(dim)
+            if t != exclude and t != node and self.ctx.is_alive(t)
+        ]
+        if not pool:
+            return []
+        if len(pool) <= k:
+            return list(pool)
+        idx = self.ctx.rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in idx]

@@ -1,0 +1,58 @@
+"""PIList — the Positive Index List of §III-B.
+
+Nodes receiving a diffused index store the originator's identifier here.
+Entries expire (diffusion is periodic, so liveness is re-established every
+sender cycle) and the list is size-capped with oldest-first eviction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PIList"]
+
+
+class PIList:
+    """Expiring, capped set of positively-located index-node identifiers."""
+
+    def __init__(self, ttl: float, max_size: int = 64):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self.max_size = int(max_size)
+        self._added_at: dict[int, float] = {}
+
+    def add(self, node_id: int, now: float) -> None:
+        """Insert or refresh an index; evict the stalest when full."""
+        self._added_at[node_id] = now
+        if len(self._added_at) > self.max_size:
+            oldest = min(self._added_at, key=lambda k: (self._added_at[k], k))
+            del self._added_at[oldest]
+
+    def discard(self, node_id: int) -> None:
+        self._added_at.pop(node_id, None)
+
+    def purge(self, now: float) -> None:
+        cutoff = now - self.ttl
+        stale = [k for k, t in self._added_at.items() if t < cutoff]
+        for k in stale:
+            del self._added_at[k]
+
+    def entries(self, now: float) -> list[int]:
+        self.purge(now)
+        return sorted(self._added_at)
+
+    def sample(self, k: int, now: float, rng: np.random.Generator) -> list[int]:
+        """Up to ``k`` distinct indexes, uniformly at random (Algorithm 4
+        line 1)."""
+        pool = self.entries(now)
+        if len(pool) <= k:
+            return pool
+        picked = rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in picked]
+
+    def __len__(self) -> int:
+        return len(self._added_at)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._added_at

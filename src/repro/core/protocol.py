@@ -1,0 +1,301 @@
+"""Per-node protocol assembly for PID-CAN and the variant factory.
+
+``PIDCANProtocol`` owns the INSCAN overlay, per-node state caches γ,
+PILists and index-pointer tables, and drives three periodic activities per
+node (self-chaining timers that stop when the node churns out):
+
+- **state update** (cycle 400 s, TTL 600 s — §IV-A): availability ``a_i``
+  is measured and routed over INSCAN to its duty node;
+- **index diffusion** (Algorithm 1): when the local cache γ is non-empty,
+  diffuse the node's identifier backwards (SID or HID);
+- **pointer-table refresh**: rebuild the 2^k directional pointers (also
+  repairing churn damage), charged as maintenance traffic.
+
+The factory :func:`make_protocol` builds every protocol evaluated in §IV:
+``sid``, ``hid``, ``sid+sos``, ``hid+sos``, ``sid+vd``, plus the baselines
+(``newscast``, ``khdn``, ``randomwalk``) from :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.diffusion import DiffusionEngine
+from repro.core.pilist import PIList
+from repro.core.query import QueryEngine, QueryParams
+from repro.core.state import StateCache, StateRecord
+
+__all__ = [
+    "DiscoveryProtocol",
+    "PIDCANParams",
+    "PIDCANProtocol",
+    "make_protocol",
+    "PROTOCOL_NAMES",
+]
+
+
+class DiscoveryProtocol(abc.ABC):
+    """What the SOC runner needs from a resource-discovery protocol."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def bootstrap(self, node_ids: list[int]) -> None:
+        """Build initial protocol state for the starting population."""
+
+    @abc.abstractmethod
+    def on_join(self, node_id: int) -> None:
+        """A node churned in."""
+
+    @abc.abstractmethod
+    def on_leave(self, node_id: int) -> None:
+        """A node churned out (state it held is gone)."""
+
+    @abc.abstractmethod
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        """Find up to δ nodes whose availability dominates ``demand``; call
+        ``callback(records, n_messages)`` exactly once."""
+
+
+@dataclass(frozen=True, slots=True)
+class PIDCANParams:
+    """All PID-CAN knobs; defaults follow §IV-A and DESIGN.md §5."""
+
+    diffusion_method: str = "hid"  # "hid" | "sid"
+    sos: bool = False
+    vd: bool = False
+    resource_dims: int = 5
+    L: int = 2
+    delta: int = 3
+    jump_list_size: int = 5
+    check_duty_cache: bool = True
+    state_ttl: float = 600.0
+    state_period: float = 400.0
+    diffusion_period: float = 400.0
+    pilist_ttl: float = 1200.0
+    pilist_max: int = 64
+    table_refresh_period: float = 3600.0
+    query_timeout: float = 60.0
+    sos_bias: float = 1.0
+
+    @property
+    def overlay_dims(self) -> int:
+        return self.resource_dims + (1 if self.vd else 0)
+
+    def query_params(self) -> QueryParams:
+        return QueryParams(
+            delta=self.delta,
+            jump_list_size=self.jump_list_size,
+            check_duty_cache=self.check_duty_cache,
+            sos=self.sos,
+            sos_bias=self.sos_bias,
+            vd=self.vd,
+            timeout=self.query_timeout,
+        )
+
+
+class PIDCANProtocol(DiscoveryProtocol):
+    """Proactive Index-Diffusion CAN (§III)."""
+
+    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
+        self.ctx = ctx
+        self.params = params
+        self.name = _variant_name(params)
+        self.overlay = CANOverlay(params.overlay_dims, ctx.rng)
+        self.caches: dict[int, StateCache] = {}
+        self.pilists: dict[int, PIList] = {}
+        self.tables: dict[int, IndexPointerTable] = {}
+        self.diffusion = DiffusionEngine(
+            ctx, self.tables, self.pilists, params.overlay_dims, params.L
+        )
+        self.queries = QueryEngine(
+            ctx, self.overlay, self.tables, self.caches, self.pilists,
+            params.query_params(),
+        )
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: list[int]) -> None:
+        self.overlay.bootstrap(node_ids)
+        for node_id in node_ids:
+            self._init_node_state(node_id)
+        # Tables are built after the full overlay exists, then kept fresh
+        # by the periodic refresh.
+        for node_id in node_ids:
+            self._refresh_table(node_id, charge=False)
+        for node_id in node_ids:
+            self._arm_periodics(node_id)
+
+    def on_join(self, node_id: int) -> None:
+        self.overlay.join(node_id)
+        self._init_node_state(node_id)
+        self._refresh_table(node_id, charge=True)
+        self._arm_periodics(node_id)
+
+    def on_leave(self, node_id: int) -> None:
+        if node_id in self.overlay:
+            self.overlay.leave(node_id)
+        self.caches.pop(node_id, None)
+        self.pilists.pop(node_id, None)
+        self.tables.pop(node_id, None)
+
+    def _init_node_state(self, node_id: int) -> None:
+        self.caches[node_id] = StateCache(self.params.state_ttl)
+        self.pilists[node_id] = PIList(self.params.pilist_ttl, self.params.pilist_max)
+
+    # ------------------------------------------------------------------
+    # periodic activities (self-chaining so they die with the node)
+    # ------------------------------------------------------------------
+    def _arm_periodics(self, node_id: int) -> None:
+        rng = self.ctx.rng
+        self._chain(node_id, self.params.state_period, self._state_update,
+                    first=rng.uniform(0, self.params.state_period))
+        self._chain(node_id, self.params.diffusion_period, self._diffusion_tick,
+                    first=rng.uniform(0, self.params.diffusion_period))
+        self._chain(node_id, self.params.table_refresh_period, self._table_tick,
+                    first=rng.uniform(0, self.params.table_refresh_period))
+
+    def _chain(
+        self, node_id: int, period: float, action: Callable[[int], None], first: float
+    ) -> None:
+        def tick() -> None:
+            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
+                return
+            action(node_id)
+            self.ctx.sim.schedule(period, tick)
+
+        self.ctx.sim.schedule(first, tick)
+
+    # ------------------------------------------------------------------
+    # state updates
+    # ------------------------------------------------------------------
+    def _point_for(self, vector: np.ndarray) -> np.ndarray:
+        point = self.ctx.normalize(vector)
+        if self.params.vd:
+            point = np.append(point, self.ctx.rng.uniform())
+        return point
+
+    def _state_update(self, node_id: int) -> None:
+        availability = self.ctx.availability_of(node_id)
+        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
+        point = self._point_for(availability)
+        try:
+            path = inscan_path(self.overlay, self.tables, node_id, point)
+        except (RoutingError, KeyError):
+            return  # overlay mid-repair; next cycle retries
+        self.ctx.send_path(
+            "state-update", path, self._deliver_state, path[-1], record
+        )
+
+    def _deliver_state(self, duty: int, record: StateRecord) -> None:
+        cache = self.caches.get(duty)
+        if cache is not None:
+            cache.put(record)
+
+    # ------------------------------------------------------------------
+    # diffusion + maintenance
+    # ------------------------------------------------------------------
+    def _diffusion_tick(self, node_id: int) -> None:
+        cache = self.caches.get(node_id)
+        if cache is not None and cache.non_empty(self.ctx.sim.now):
+            self.diffusion.diffuse(node_id, self.params.diffusion_method)
+
+    def _table_tick(self, node_id: int) -> None:
+        self._refresh_table(node_id, charge=True)
+
+    def _refresh_table(self, node_id: int, charge: bool) -> None:
+        table = build_index_table(self.overlay, node_id, self.ctx.rng)
+        self.tables[node_id] = table
+        if charge:
+            self.ctx.charge_local("maintenance", node_id, table.build_messages)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        self.queries.submit(demand, requester, callback)
+
+
+def _variant_name(params: PIDCANParams) -> str:
+    name = f"{params.diffusion_method}-can"
+    if params.sos:
+        name += "+sos"
+    if params.vd:
+        name += "+vd"
+    return name
+
+
+#: Every protocol name accepted by :func:`make_protocol` (the six §IV
+#: variants plus extra baselines/ablations).
+PROTOCOL_NAMES = (
+    "hid-can",
+    "sid-can",
+    "hid-can+sos",
+    "sid-can+sos",
+    "sid-can+vd",
+    "hid-can+vd",
+    "newscast",
+    "khdn-can",
+    "randomwalk-can",
+    "mercury",
+)
+
+
+def make_protocol(
+    name: str,
+    ctx: ProtocolContext,
+    params: PIDCANParams | None = None,
+    **baseline_kwargs,
+) -> DiscoveryProtocol:
+    """Build any evaluated protocol by its paper name.
+
+    ``params`` seeds the PID-CAN knobs (variant flags are overridden by the
+    name); baselines receive shared knobs (delta, timeout, periods) from
+    ``params`` and accept protocol-specific overrides via kwargs.
+    """
+    base = params or PIDCANParams()
+    key = name.lower()
+    if key in ("hid-can", "sid-can", "hid-can+sos", "sid-can+sos",
+               "sid-can+vd", "hid-can+vd"):
+        method = "hid" if key.startswith("hid") else "sid"
+        return PIDCANProtocol(
+            ctx,
+            replace(base, diffusion_method=method,
+                    sos="+sos" in key, vd="+vd" in key),
+        )
+    if key == "newscast":
+        from repro.baselines.newscast import NewscastProtocol
+
+        return NewscastProtocol(ctx, base, **baseline_kwargs)
+    if key == "khdn-can":
+        from repro.baselines.khdn import KHDNProtocol
+
+        return KHDNProtocol(ctx, base, **baseline_kwargs)
+    if key == "randomwalk-can":
+        from repro.baselines.randomwalk import RandomWalkProtocol
+
+        return RandomWalkProtocol(ctx, base, **baseline_kwargs)
+    if key == "mercury":
+        from repro.baselines.mercury import MercuryProtocol
+
+        return MercuryProtocol(ctx, base, **baseline_kwargs)
+    raise ValueError(f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}")

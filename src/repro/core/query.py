@@ -1,0 +1,351 @@
+"""The contention-minimized multi-dimensional range query (§III-C).
+
+Three phases, each driven by its own message handler, mirroring
+Algorithms 3-5:
+
+1. **duty-query** — the expectation vector ``v`` is routed over INSCAN to
+   the *duty node* whose zone encloses it;
+2. **index-agent** — the duty node randomly picks one positive neighbor per
+   dimension as *index agents* (the reservoir ι) and forwards to a random
+   agent, which samples an *index-jump list* j from its PIList;
+3. **index-jump** — the jump message hops index node to index node; each
+   checks its cache γ for records dominating ``v`` (Inequality 2), sends
+   found records to the requester (FoundList ϕ) and decrements the result
+   budget δ; exhausted lists fall back to the next agent, and an exhausted
+   agent reservoir ends the query.
+
+The requester accumulates ϕ notifications and finalizes on the explicit
+query-end message or a timeout (needed under churn, where a chain can die
+with a relaying node).  With Slack-on-Submission the first attempt runs on
+the slacked vector e′ and a failed attempt retries once with the original
+``e`` — the paper's "twice resource query overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.can.inscan import IndexPointerTable, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.pilist import PIList
+from repro.core.sos import slack_expectation
+from repro.core.state import StateCache, StateRecord
+from repro.sim.engine import EventHandle
+
+__all__ = ["QueryEngine", "QueryRuntime", "QueryParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryParams:
+    """Query-side knobs (defaults follow §III-C / DESIGN.md §5)."""
+
+    delta: int = 3  # δ: expected number of qualified results
+    jump_list_size: int = 5  # |j| sampled from the agent's PIList
+    check_duty_cache: bool = True  # also search γ on the duty node itself
+    sos: bool = False  # Slack-on-Submission (Formula 3)
+    sos_bias: float = 1.0
+    vd: bool = False  # extra virtual dimension [27]
+    timeout: float = 60.0  # requester-side query timeout (churn safety)
+    max_chain_hops: int = 64  # hard cap on one query's message chain
+
+
+@dataclass
+class QueryRuntime:
+    """Requester-side bookkeeping for one task's query."""
+
+    qid: int
+    requester: int
+    demand: np.ndarray  # original e(t)
+    callback: Callable[[list[StateRecord], int], None]
+    v: np.ndarray = None  # type: ignore[assignment]  # current query vector
+    found: list[StateRecord] = field(default_factory=list)
+    messages: int = 0
+    finalized: bool = False
+    sos_attempted: bool = False
+    timeout_handle: Optional[EventHandle] = None
+
+
+class QueryEngine:
+    """Executes Algorithms 3-5 against the live protocol state."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        overlay: CANOverlay,
+        tables: dict[int, IndexPointerTable],
+        caches: dict[int, StateCache],
+        pilists: dict[int, PIList],
+        params: QueryParams,
+    ):
+        self.ctx = ctx
+        self.overlay = overlay
+        self.tables = tables
+        self.caches = caches
+        self.pilists = pilists
+        self.params = params
+        self._active: dict[int, QueryRuntime] = {}
+        self._next_qid = 0
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> int:
+        """Start a query for ``demand`` issued by ``requester``.
+
+        ``callback(records, messages)`` fires exactly once with the deduped
+        qualified records (possibly empty = failed task).
+        """
+        rt = QueryRuntime(
+            qid=self._next_qid,
+            requester=requester,
+            demand=np.asarray(demand, dtype=np.float64),
+            callback=callback,
+        )
+        self._next_qid += 1
+        self._active[rt.qid] = rt
+        rt.timeout_handle = self.ctx.sim.schedule(
+            self.params.timeout, self._on_timeout, rt.qid
+        )
+        if self.params.sos:
+            rt.v = slack_expectation(
+                rt.demand, self.ctx.cmax, self.ctx.rng, self.params.sos_bias
+            )
+            rt.sos_attempted = True
+        else:
+            rt.v = rt.demand
+        self._launch(rt)
+        return rt.qid
+
+    def active_queries(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # phase 1: duty-query routing (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _query_point(self, v: np.ndarray) -> np.ndarray:
+        point = self.ctx.normalize(v)
+        if self.params.vd:
+            # The virtual dimension receives a fresh random coordinate per
+            # query, dispersing analogous queries over many duty nodes [27].
+            point = np.append(point, self.ctx.rng.uniform())
+        return point
+
+    def _launch(self, rt: QueryRuntime) -> None:
+        if not self.ctx.is_alive(rt.requester):
+            self._finalize(rt)
+            return
+        point = self._query_point(rt.v)
+        try:
+            path = inscan_path(self.overlay, self.tables, rt.requester, point)
+        except (RoutingError, KeyError):
+            # Overlay under repair (churn); the query is lost.
+            self._finalize(rt)
+            return
+        rt.messages += max(0, len(path) - 1)
+        self.ctx.send_path("duty-query", path, self._on_duty, rt.qid, path[-1])
+
+    def _on_duty(self, qid: int, duty: int) -> None:
+        rt = self._active.get(qid)
+        if rt is None or rt.finalized:
+            return
+        now = self.ctx.sim.now
+        delta = self.params.delta
+        found_owners: set[int] = set()
+
+        # Optional deviation knob (DESIGN.md §5): the duty node's own cache
+        # holds the records tightest around v — natural best-fit candidates.
+        if self.params.check_duty_cache:
+            cache = self.caches.get(duty)
+            if cache is not None:
+                phi = cache.qualified(rt.v, now, limit=delta)
+                if phi:
+                    self._notify_found(duty, rt, phi)
+                    delta -= len(phi)
+                    found_owners.update(r.owner for r in phi)
+        if delta <= 0:
+            self.ctx.send("query-end", duty, rt.requester, self._on_end, qid)
+            return
+
+        # Algorithm 3 lines 5-7: one random positive neighbor per dimension.
+        agents: list[int] = []
+        for dim in range(self.overlay.dims):
+            if duty not in self.overlay.nodes:
+                break
+            pos = self.overlay.directional_neighbors(duty, dim, +1)
+            pick = self.ctx.choice(pos, exclude=set(agents) | {duty})
+            if pick is not None:
+                agents.append(pick)
+        if not agents:
+            # Top-corner duty node with no positive neighbors: act as our
+            # own index agent (the PIList here was populated by the same
+            # backward diffusion).
+            self._on_agent(qid, duty, delta, [], found_owners, 1)
+            return
+        alpha = agents.pop(int(self.ctx.rng.integers(len(agents))))
+        self.ctx.send(
+            "index-agent", duty, alpha,
+            self._on_agent, qid, alpha, delta, agents, found_owners, 1,
+        )
+
+    # ------------------------------------------------------------------
+    # phase 2: index-agent handler (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _on_agent(
+        self,
+        qid: int,
+        me: int,
+        delta: int,
+        agents: list[int],
+        found_owners: set[int],
+        hops: int,
+    ) -> None:
+        rt = self._active.get(qid)
+        if rt is None or rt.finalized:
+            return
+        if hops > self.params.max_chain_hops:
+            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            return
+        pilist = self.pilists.get(me)
+        jumps = (
+            pilist.sample(self.params.jump_list_size, self.ctx.sim.now, self.ctx.rng)
+            if pilist is not None
+            else []
+        )
+        jumps = [j for j in jumps if j != me and j not in found_owners]
+        if jumps:
+            beta = jumps.pop(int(self.ctx.rng.integers(len(jumps))))
+            rt.messages += 1
+            self.ctx.send(
+                "index-jump", me, beta,
+                self._on_jump, qid, beta, delta, jumps, agents, found_owners,
+                hops + 1,
+            )
+        else:
+            self._next_agent(qid, me, delta, agents, found_owners, hops, rt)
+
+    def _next_agent(
+        self,
+        qid: int,
+        me: int,
+        delta: int,
+        agents: list[int],
+        found_owners: set[int],
+        hops: int,
+        rt: QueryRuntime,
+    ) -> None:
+        """Algorithm 4 lines 5-8 / Algorithm 5 lines 10-13."""
+        if agents:
+            alpha = agents.pop(int(self.ctx.rng.integers(len(agents))))
+            rt.messages += 1
+            self.ctx.send(
+                "index-agent", me, alpha,
+                self._on_agent, qid, alpha, delta, agents, found_owners, hops + 1,
+            )
+        else:
+            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+
+    # ------------------------------------------------------------------
+    # phase 3: index-jump handler (Algorithm 5)
+    # ------------------------------------------------------------------
+    def _on_jump(
+        self,
+        qid: int,
+        me: int,
+        delta: int,
+        jumps: list[int],
+        agents: list[int],
+        found_owners: set[int],
+        hops: int,
+    ) -> None:
+        rt = self._active.get(qid)
+        if rt is None or rt.finalized:
+            return
+        if hops > self.params.max_chain_hops:
+            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            return
+        now = self.ctx.sim.now
+        cache = self.caches.get(me)
+        if cache is not None:
+            phi = cache.qualified(rt.v, now, limit=delta, exclude=found_owners)
+            if phi:
+                # Lines 2-5: notify the requester, decrement δ.
+                self._notify_found(me, rt, phi)
+                delta -= len(phi)
+                found_owners = found_owners | {r.owner for r in phi}
+        if delta <= 0:
+            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            return
+        jumps = [j for j in jumps if j not in found_owners]
+        if jumps:
+            beta = jumps.pop(int(self.ctx.rng.integers(len(jumps))))
+            rt.messages += 1
+            self.ctx.send(
+                "index-jump", me, beta,
+                self._on_jump, qid, beta, delta, jumps, agents, found_owners,
+                hops + 1,
+            )
+        else:
+            self._next_agent(qid, me, delta, agents, found_owners, hops, rt)
+
+    # ------------------------------------------------------------------
+    # requester side
+    # ------------------------------------------------------------------
+    def _notify_found(self, src: int, rt: QueryRuntime, phi: list[StateRecord]) -> None:
+        rt.messages += 1
+        self.ctx.send(
+            "found-notify", src, rt.requester, self._on_found, rt.qid, list(phi)
+        )
+
+    def _on_found(self, qid: int, phi: list[StateRecord]) -> None:
+        rt = self._active.get(qid)
+        if rt is None or rt.finalized:
+            return
+        rt.found.extend(phi)
+
+    def _on_end(self, qid: int) -> None:
+        rt = self._active.get(qid)
+        if rt is None:
+            return
+        self._maybe_retry_or_finalize(rt)
+
+    def _on_timeout(self, qid: int) -> None:
+        rt = self._active.get(qid)
+        if rt is None or rt.finalized:
+            return
+        self._maybe_retry_or_finalize(rt)
+
+    def _maybe_retry_or_finalize(self, rt: QueryRuntime) -> None:
+        if rt.finalized:
+            return
+        if not rt.found and self.params.sos and rt.sos_attempted:
+            # SoS failure path: restore the original expectation vector and
+            # re-conduct the search once (§III-C last paragraph).
+            rt.sos_attempted = False
+            rt.v = rt.demand
+            if rt.timeout_handle is not None:
+                rt.timeout_handle.cancel()
+            rt.timeout_handle = self.ctx.sim.schedule(
+                self.params.timeout, self._on_timeout, rt.qid
+            )
+            self._launch(rt)
+            return
+        self._finalize(rt)
+
+    def _finalize(self, rt: QueryRuntime) -> None:
+        if rt.finalized:
+            return
+        rt.finalized = True
+        if rt.timeout_handle is not None:
+            rt.timeout_handle.cancel()
+        self._active.pop(rt.qid, None)
+        rt.callback(rt.found, rt.messages)

@@ -1,0 +1,92 @@
+"""Duty-node state caches (the cache γ of §III-B).
+
+Every node periodically routes its availability record to the duty node
+whose zone encloses the normalized availability point; the duty node keeps
+the record for the state TTL (600 s in the paper, message cycle 400 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["StateRecord", "StateCache"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class StateRecord:
+    """One availability report: ``a_i`` of ``owner`` at ``timestamp``."""
+
+    owner: int
+    availability: np.ndarray
+    timestamp: float
+
+    def qualifies(self, demand: np.ndarray) -> bool:
+        """Inequality (2): the recorded availability dominates ``demand``."""
+        return bool(np.all(self.availability >= demand - _EPS))
+
+
+class StateCache:
+    """TTL-bounded per-duty-node record store, keyed by reporting owner.
+
+    A newer record from the same owner replaces the old one (the paper's
+    periodic state-update semantics).
+    """
+
+    def __init__(self, ttl: float):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self._records: dict[int, StateRecord] = {}
+
+    def put(self, record: StateRecord) -> None:
+        existing = self._records.get(record.owner)
+        if existing is None or existing.timestamp <= record.timestamp:
+            self._records[record.owner] = record
+
+    def evict_owner(self, owner: int) -> None:
+        self._records.pop(owner, None)
+
+    def purge(self, now: float) -> None:
+        """Drop expired records."""
+        cutoff = now - self.ttl
+        stale = [o for o, r in self._records.items() if r.timestamp < cutoff]
+        for o in stale:
+            del self._records[o]
+
+    def non_empty(self, now: float) -> bool:
+        """The diffusion trigger of Algorithm 1: any fresh record present?"""
+        self.purge(now)
+        return bool(self._records)
+
+    def records(self, now: float) -> list[StateRecord]:
+        self.purge(now)
+        return list(self._records.values())
+
+    def qualified(
+        self,
+        demand: np.ndarray,
+        now: float,
+        limit: Optional[int] = None,
+        exclude: Optional[Iterable[int]] = None,
+    ) -> list[StateRecord]:
+        """Fresh records dominating ``demand`` (Algorithm 5 line 1), at most
+        ``limit``, skipping owners in ``exclude`` (already-found nodes)."""
+        self.purge(now)
+        skip = set(exclude) if exclude is not None else ()
+        out: list[StateRecord] = []
+        for rec in self._records.values():
+            if rec.owner in skip:
+                continue
+            if rec.qualifies(demand):
+                out.append(rec)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,16 @@
+"""Experiment harness: configuration presets, the SOC simulation runner,
+per-figure scenario builders and ASCII reporting."""
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import SOCSimulation, SimulationResult
+from repro.experiments.scenarios import SCENARIOS, run_protocol, run_scenario
+
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "SOCSimulation",
+    "SimulationResult",
+    "SCENARIOS",
+    "run_protocol",
+    "run_scenario",
+]

@@ -1,0 +1,73 @@
+"""Command-line entry point.
+
+Examples::
+
+    pidcan fig5 --scale tiny
+    pidcan table3 --scale small --seed 7
+    python -m repro fig4b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import SCALES
+from repro.experiments.reporting import render_scenario
+from repro.experiments.scenarios import SCENARIOS, run_scenario
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pidcan",
+        description=(
+            "Reproduce the evaluation of 'Probabilistic Best-fit "
+            "Multi-dimensional Range Query in Self-Organizing Cloud' "
+            "(ICPP 2011)."
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="paper figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="population/horizon preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII line charts of the series (mirrors the figures)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.perf_counter()
+    results = run_scenario(args.scenario, scale=args.scale, seed=args.seed)
+    if args.chart and args.scenario != "table3":
+        from repro.experiments.plots import scenario_charts
+
+        metrics = ("t_ratio",) if args.scenario.startswith("fig4") else (
+            "t_ratio", "f_ratio", "fairness",
+        )
+        print(scenario_charts(results, metrics=metrics))
+        print()
+    print(render_scenario(args.scenario, results))
+    print(
+        f"\n[{args.scenario} @ {args.scale}, seed {args.seed}: "
+        f"{time.perf_counter() - started:.1f}s wall clock]"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Experiment configuration and scale presets.
+
+``paper`` matches §IV-A (2000 nodes, one simulated day); ``small`` and
+``tiny`` shrink the population and horizon while keeping the *per-node*
+load regime identical (same arrival process, same demand distributions),
+which preserves protocol orderings and crossovers — the properties the
+benchmarks assert.  Select with ``ExperimentConfig.at_scale`` or the
+``REPRO_SCALE`` environment variable in the benches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.protocol import PIDCANParams
+from repro.sim.network import NetworkParams
+
+__all__ = ["ExperimentConfig", "SCALES", "env_scale"]
+
+
+#: (n_nodes, duration_seconds) per named scale.
+SCALES: dict[str, tuple[int, float]] = {
+    "paper": (2000, 86400.0),
+    "small": (400, 21600.0),
+    "tiny": (120, 7200.0),
+}
+
+
+def env_scale(default: str = "small") -> str:
+    """The scale requested via ``REPRO_SCALE`` (benches honour this)."""
+    scale = os.environ.get("REPRO_SCALE", default)
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_SCALE={scale!r}; expected one of {sorted(SCALES)}")
+    return scale
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Everything one SOC simulation run needs."""
+
+    # population / horizon ---------------------------------------------
+    n_nodes: int = 400
+    duration: float = 21600.0
+    seed: int = 42
+
+    # workload (§IV-A / Table II) --------------------------------------
+    demand_ratio: float = 1.0
+    mean_interarrival: float = 3000.0
+    mean_nominal_time: float = 3000.0
+
+    # protocol ----------------------------------------------------------
+    protocol: str = "hid-can"
+    pidcan: PIDCANParams = field(default_factory=PIDCANParams)
+    protocol_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    # scheduling policy (DESIGN.md §5) -----------------------------------
+    admission: str = "none"  # "none" | "strict"
+    local_first: bool = False
+    selection_policy: str = "best-fit"
+    placement_retries: int = 2
+    query_failsafe_timeout: float = 180.0
+
+    # churn (Fig. 8) -----------------------------------------------------
+    churn_degree: float = 0.0  # fraction of nodes churning per lifetime
+    churn_lifetime: float = 3000.0
+    #: The paper's churn disconnects nodes from the *overlay* (discovery
+    #: state is lost) while resident tasks run to completion — Fig. 8's
+    #: near-flat T-Ratio at 25-50% churn is impossible otherwise, and
+    #: execution fault tolerance is explicitly future work (§VI).  Set
+    #: True to also kill resident tasks (ablation).
+    churn_kills_tasks: bool = False
+    #: §VI future work: checkpoint/restart on top of the discovery
+    #: protocol.  Only meaningful with ``churn_kills_tasks=True``: killed
+    #: tasks roll back to their last snapshot and re-run the query.
+    checkpoint_enabled: bool = False
+    checkpoint_period: float = 600.0
+
+    # environment ---------------------------------------------------------
+    network: NetworkParams = field(default_factory=NetworkParams)
+    cmax_mode: str = "exact"  # "exact" | "gossip"
+    sample_period: float = 3600.0
+    #: Emit one TraceEvent per task lifecycle transition (repro.sim.tracing).
+    trace_tasks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        if self.admission not in ("none", "strict"):
+            raise ValueError(f"admission must be none|strict, got {self.admission}")
+        if self.cmax_mode not in ("exact", "gossip"):
+            raise ValueError(f"cmax_mode must be exact|gossip, got {self.cmax_mode}")
+        if not 0.0 <= self.churn_degree < 1.0:
+            raise ValueError("churn_degree must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def at_scale(cls, scale: str = "small", **overrides: Any) -> "ExperimentConfig":
+        """A config at a named scale with field overrides applied."""
+        try:
+            n_nodes, duration = SCALES[scale]
+        except KeyError:
+            raise ValueError(f"unknown scale {scale!r}; expected {sorted(SCALES)}") from None
+        base = cls(n_nodes=n_nodes, duration=duration)
+        return replace(base, **overrides) if overrides else base
+
+    def with_protocol(self, protocol: str, **kwargs: Any) -> "ExperimentConfig":
+        return replace(self, protocol=protocol,
+                       protocol_kwargs={**self.protocol_kwargs, **kwargs})
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol} n={self.n_nodes} λ={self.demand_ratio} "
+            f"T={self.duration / 3600:.0f}h seed={self.seed}"
+            + (f" churn={self.churn_degree:.0%}" if self.churn_degree else "")
+        )

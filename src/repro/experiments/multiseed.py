@@ -1,0 +1,108 @@
+"""Multi-seed replication support.
+
+The paper reports single simulation runs; for a reproduction it is worth
+knowing how stable each claim is across random seeds.  This module runs a
+configuration across seeds and aggregates the end-of-run metrics into
+mean / standard deviation / a normal-approximation confidence interval,
+plus a pairwise comparison helper that asserts an ordering holds in most
+replicas rather than by luck of one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SimulationResult, SOCSimulation
+
+__all__ = ["MetricStats", "MultiSeedResult", "run_seeds", "ordering_confidence"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricStats:
+    """Aggregate of one scalar metric over seeds."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval of the mean."""
+        half = 1.96 * self.std / np.sqrt(len(self.values))
+        return (self.mean - half, self.mean + half)
+
+    def __repr__(self) -> str:
+        lo, hi = self.ci95()
+        return f"{self.name}: {self.mean:.4f} ± {self.std:.4f} [{lo:.4f}, {hi:.4f}]"
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """All replicas of one configuration plus aggregated metrics."""
+
+    config: ExperimentConfig
+    results: tuple[SimulationResult, ...]
+
+    def metric(self, name: str) -> MetricStats:
+        getter: Callable[[SimulationResult], float] = {
+            "t_ratio": lambda r: r.t_ratio,
+            "f_ratio": lambda r: r.f_ratio,
+            "fairness": lambda r: r.fairness,
+            "msg_per_node": lambda r: r.per_node_msg_cost,
+            "placement_fairness": lambda r: r.balance.placement_fairness,
+            "hotspot_share": lambda r: r.balance.hotspot_share,
+        }.get(name)
+        if getter is None:
+            raise ValueError(f"unknown metric {name!r}")
+        return MetricStats(name, tuple(getter(r) for r in self.results))
+
+    def summary(self) -> dict[str, MetricStats]:
+        return {
+            name: self.metric(name)
+            for name in ("t_ratio", "f_ratio", "fairness", "msg_per_node")
+        }
+
+
+def run_seeds(
+    config: ExperimentConfig, seeds: Sequence[int]
+) -> MultiSeedResult:
+    """Run ``config`` once per seed (everything else held fixed)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = tuple(
+        SOCSimulation(replace(config, seed=seed)).run() for seed in seeds
+    )
+    return MultiSeedResult(config=config, results=results)
+
+
+def ordering_confidence(
+    a: MultiSeedResult,
+    b: MultiSeedResult,
+    metric: str,
+    direction: str = "less",
+) -> float:
+    """Fraction of seed pairs in which ``a``'s metric is less/greater than
+    ``b``'s — a distribution-free check that a claimed ordering is not a
+    single-seed accident (1.0 = holds for every pairing)."""
+    if direction not in ("less", "greater"):
+        raise ValueError("direction must be 'less' or 'greater'")
+    va = a.metric(metric).values
+    vb = b.metric(metric).values
+    wins = 0
+    total = 0
+    for x in va:
+        for y in vb:
+            total += 1
+            if (x < y) if direction == "less" else (x > y):
+                wins += 1
+    return wins / total if total else float("nan")

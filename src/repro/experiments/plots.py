@@ -1,0 +1,113 @@
+"""ASCII line charts for the paper's time-series figures.
+
+Renders the hour-resolution metric series of several protocols into one
+terminal chart (distinct glyph per curve), so ``pidcan fig5 --chart``
+visually mirrors Fig. 5 instead of printing a table of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.runner import SimulationResult
+
+__all__ = ["ascii_chart", "scenario_charts"]
+
+#: Curve glyphs, assigned in label order.
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    curves: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot ``{label: (xs, ys)}`` curves on one grid.
+
+    The y-range is padded to [0, max] when all values are non-negative
+    (ratio metrics), otherwise spans the data.
+    """
+    if not curves:
+        return "(no curves)"
+    all_x = [x for xs, _ in curves.values() for x in xs]
+    all_y = [y for _, ys in curves.values() for y in ys if y == y]  # drop NaN
+    if not all_x or not all_y:
+        return "(empty curves)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = min(0.0, min(all_y))
+    y_hi = max(all_y) or 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, (xs, ys)) in enumerate(curves.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for x, y in zip(xs, ys):
+            if y != y:
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.2f}"
+    bottom_label = f"{y_lo:.2f}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * margin
+        + f"{x_lo:.0f}".ljust(width // 2)
+        + f"{x_hi:.0f}".rjust(width // 2)
+        + ("  " + y_label if y_label else "")
+    )
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={label}" for i, label in enumerate(curves)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)
+
+
+def scenario_charts(
+    results: Mapping[str, SimulationResult],
+    metrics: Sequence[str] = ("t_ratio", "f_ratio", "fairness"),
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """One chart per metric, protocols overlaid — the Fig. 5-8 layout."""
+    blocks = []
+    titles = {
+        "t_ratio": "throughput ratio (T-Ratio)",
+        "f_ratio": "failed task ratio (F-Ratio)",
+        "fairness": "fairness index",
+    }
+    for metric in metrics:
+        curves = {}
+        for label, res in results.items():
+            series = res.series[metric]
+            hours = [t / 3600.0 for t in series.times]
+            curves[label] = (hours, list(series.values))
+        blocks.append(
+            ascii_chart(
+                curves,
+                width=width,
+                height=height,
+                title=titles.get(metric, metric),
+                y_label="hours",
+            )
+        )
+    return "\n\n".join(blocks)

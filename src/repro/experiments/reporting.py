@@ -1,0 +1,107 @@
+"""ASCII rendering of the paper's figures and tables.
+
+The paper's figures are hour-resolution line plots; here each becomes a
+column-per-protocol table of the sampled metric, and Table III becomes the
+same four-metric table the paper prints.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.runner import SimulationResult
+
+__all__ = ["series_table", "summary_table", "scalability_table", "render_scenario"]
+
+
+def _fmt(value: float, width: int = 9) -> str:
+    if value != value:  # NaN
+        return "nan".rjust(width)
+    return f"{value:.3f}".rjust(width)
+
+
+def series_table(
+    results: Mapping[str, SimulationResult], metric: str, title: str = ""
+) -> str:
+    """One metric's time series for every protocol, hour by hour."""
+    labels = list(results)
+    if not labels:
+        return "(no results)"
+    first = results[labels[0]].series[metric]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "hour".rjust(6) + "".join(label.rjust(16) for label in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, t in enumerate(first.times):
+        row = f"{t / 3600:6.1f}"
+        for label in labels:
+            series = results[label].series[metric]
+            value = series.values[i] if i < len(series.values) else float("nan")
+            row += _fmt(value, 16)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> str:
+    """Final T-Ratio / F-Ratio / fairness / traffic per protocol."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        "protocol".ljust(16)
+        + "T-Ratio".rjust(9)
+        + "F-Ratio".rjust(9)
+        + "fairness".rjust(9)
+        + "msg/node".rjust(10)
+        + "tasks".rjust(8)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, res in results.items():
+        lines.append(
+            label.ljust(16)
+            + _fmt(res.t_ratio)
+            + _fmt(res.f_ratio)
+            + _fmt(res.fairness)
+            + f"{res.per_node_msg_cost:10.1f}"
+            + f"{res.generated:8d}"
+        )
+    return "\n".join(lines)
+
+
+def scalability_table(results: Mapping[str, SimulationResult]) -> str:
+    """Table III layout: metrics as rows, populations as columns."""
+    ns = list(results)
+    header = "metric / scale".ljust(22) + "".join(n.rjust(10) for n in ns)
+    lines = [header, "-" * len(header)]
+    rows = [
+        ("throughput ratio", lambda r: f"{r.t_ratio:.3f}"),
+        ("failed task ratio", lambda r: f"{r.f_ratio:.1%}"),
+        ("fairness index", lambda r: f"{r.fairness:.3f}"),
+        ("msg delivery cost", lambda r: f"{r.per_node_msg_cost:.0f}"),
+    ]
+    for name, getter in rows:
+        lines.append(
+            name.ljust(22) + "".join(getter(results[n]).rjust(10) for n in ns)
+        )
+    return "\n".join(lines)
+
+
+def render_scenario(name: str, results: Mapping[str, SimulationResult]) -> str:
+    """Render a scenario the way the paper presents it."""
+    if name == "table3":
+        return scalability_table(results)
+    blocks = []
+    if name.startswith("fig4"):
+        blocks.append(series_table(results, "t_ratio", f"{name}: throughput ratio"))
+    else:
+        for metric, label in (
+            ("t_ratio", "throughput ratio"),
+            ("f_ratio", "failed task ratio"),
+            ("fairness", "fairness index"),
+        ):
+            blocks.append(series_table(results, metric, f"{name}: {label}"))
+    blocks.append(summary_table(results, f"{name}: end-of-run summary"))
+    return "\n\n".join(blocks)

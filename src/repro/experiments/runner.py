@@ -1,0 +1,473 @@
+"""The full Self-Organizing Cloud simulation (§IV-A's experimental setup).
+
+Wires together every substrate:
+
+- hosts with Table-I machines and PSM executors (:mod:`repro.cloud`),
+- the LAN/WAN network model and discrete-event engine (:mod:`repro.sim`),
+- a pluggable discovery protocol (:mod:`repro.core` / :mod:`repro.baselines`),
+- Poisson task arrivals (Table II),
+- node churn (Fig. 8), and
+- the §IV metrics (T-Ratio, F-Ratio, Jain fairness, traffic).
+
+Task lifecycle: generated at its origin → multi-dimensional range query via
+the protocol → best-fit selection among returned records → placement message
+to the chosen host → PSM execution (shares re-computed at every scheduling
+point) → completion ack to the origin.  Under the default ``admission=
+"none"`` policy a selected host always accepts, so analogous queries that
+pick the same host *contend*: every resident task's share drops below its
+expectation and completion times stretch — exactly the §I failure mode that
+T-Ratio measures.  ``admission="strict"`` (re-check Inequality 2 at
+placement) is the ablation alternative.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.checkpoint import CheckpointStore
+from repro.cloud.executor import NodeExecutor
+from repro.cloud.machine import CMAX, MachineConfig, sample_machine
+from repro.cloud.resources import dominates
+from repro.cloud.tasks import Task, TaskFactory
+from repro.cloud.workload import PoissonWorkload
+from repro.core.aggregation import gossip_aggregate
+from repro.core.context import ProtocolContext
+from repro.core.protocol import make_protocol
+from repro.core.selection import select_record
+from repro.core.state import StateRecord
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.balance import BalanceReport, PlacementBalance
+from repro.metrics.latency import LatencyReport, QueryLatency
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.ratios import RatioTracker
+from repro.metrics.traffic import TrafficMeter
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import NetworkModel
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import TimeSeries
+from repro.sim.tracing import Tracer
+
+__all__ = ["SOCSimulation", "SimulationResult", "HostNode"]
+
+#: Task dispatch ships input data, not just control traffic (64 KB).
+PLACEMENT_MSG_BITS = 8 * 64 * 1024
+
+
+@dataclass(slots=True)
+class HostNode:
+    """One participating host and its execution state."""
+
+    node_id: int
+    machine: MachineConfig
+    executor: NodeExecutor
+    alive: bool = True
+    completion_handle: Optional[EventHandle] = None
+
+
+@dataclass
+class SimulationResult:
+    """Everything the benchmarks and reports consume."""
+
+    config: ExperimentConfig
+    series: dict[str, TimeSeries]
+    generated: int
+    finished: int
+    failed: int
+    placed: int
+    evicted: int
+    recovered: int
+    traffic_by_kind: dict[str, int]
+    traffic_total: int
+    per_node_msg_cost: float
+    peak_population: int
+    balance: BalanceReport
+    query_latency: LatencyReport
+    efficiencies: list[float] = field(repr=False, default_factory=list)
+    wall_clock_s: float = 0.0
+
+    @property
+    def t_ratio(self) -> float:
+        return self.finished / self.generated if self.generated else 0.0
+
+    @property
+    def f_ratio(self) -> float:
+        return self.failed / self.generated if self.generated else 0.0
+
+    @property
+    def fairness(self) -> float:
+        from repro.metrics.fairness import jain_index
+
+        return jain_index(self.efficiencies)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "t_ratio": self.t_ratio,
+            "f_ratio": self.f_ratio,
+            "fairness": self.fairness,
+            "per_node_msg_cost": self.per_node_msg_cost,
+            "generated": float(self.generated),
+            "finished": float(self.finished),
+            "failed": float(self.failed),
+        }
+
+
+class SOCSimulation:
+    """Builds and runs one configured SOC experiment."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.rngs = RngRegistry(config.seed)
+        self.sim = Simulator()
+        self.network = NetworkModel(config.network, self.rngs.stream("network"))
+        self.traffic = TrafficMeter()
+        self.ratios = RatioTracker()
+        self.balance = PlacementBalance()
+        self.latency = QueryLatency()
+        self.tracer = Tracer(enabled=config.trace_tasks)
+        self.hosts: dict[int, HostNode] = {}
+        self._alive: set[int] = set()
+        self._next_node_id = 0
+        self._peak_population = 0
+        self._efficiencies: list[float] = []
+        self._tasks: list[Task] = []
+
+        # --- hosts ---------------------------------------------------
+        machine_rng = self.rngs.stream("machines")
+        for _ in range(config.n_nodes):
+            self._create_host(machine_rng)
+
+        # --- capacity statistics --------------------------------------
+        self.mean_capacity = np.mean(
+            [h.machine.capacity.values for h in self.hosts.values()], axis=0
+        )
+        self.cmax = self._resolve_cmax()
+
+        # --- protocol --------------------------------------------------
+        self.ctx = ProtocolContext(
+            sim=self.sim,
+            network=self.network,
+            traffic=self.traffic,
+            rng=self.rngs.stream("protocol"),
+            cmax=self.cmax,
+            availability_of=self._availability_of,
+            is_alive=self.is_alive,
+        )
+        self.protocol = make_protocol(
+            config.protocol, self.ctx, config.pidcan, **config.protocol_kwargs
+        )
+        self.protocol.bootstrap(sorted(self._alive))
+
+        # --- workload ---------------------------------------------------
+        self.factory = TaskFactory(
+            config.demand_ratio,
+            self.rngs.stream("tasks"),
+            config.mean_nominal_time,
+        )
+        self.workload = PoissonWorkload(
+            self.factory, self.rngs.stream("arrivals"), config.mean_interarrival
+        )
+        for node_id in sorted(self._alive):
+            self.workload.start_node(node_id, self.sim, self._submit_task, self.is_alive)
+
+        # --- churn --------------------------------------------------------
+        if config.churn_degree > 0:
+            self._churn_rng = self.rngs.stream("churn")
+            self._machine_rng = machine_rng
+            rate = config.churn_degree * config.n_nodes / config.churn_lifetime
+            self._churn_interval = 1.0 / rate
+            self.sim.schedule(
+                self._churn_rng.exponential(self._churn_interval), self._churn_event
+            )
+
+        # --- checkpointing (§VI future work) -------------------------------
+        self.checkpoints: Optional[CheckpointStore] = None
+        self.recovered_tasks = 0
+        if config.checkpoint_enabled:
+            self.checkpoints = CheckpointStore()
+            self.sim.periodic(config.checkpoint_period, self._checkpoint_tick)
+
+        # --- metrics ---------------------------------------------------------
+        self.collector = MetricsCollector(
+            self.sim, self.ratios, lambda: self._efficiencies, config.sample_period
+        )
+        self.collector.start()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _create_host(self, machine_rng: np.random.Generator) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.network.add_node(node_id)
+        machine = sample_machine(machine_rng, self.network.node_bandwidth_mbps(node_id))
+        executor = NodeExecutor(machine.capacity.values)
+        self.hosts[node_id] = HostNode(node_id, machine, executor)
+        self._alive.add(node_id)
+        self._peak_population = max(self._peak_population, len(self._alive))
+        return node_id
+
+    def is_alive(self, node_id: int) -> bool:
+        host = self.hosts.get(node_id)
+        return host is not None and host.alive
+
+    def _availability_of(self, node_id: int) -> np.ndarray:
+        host = self.hosts[node_id]
+        if not host.alive:
+            return np.zeros_like(CMAX)
+        return host.executor.availability(self.sim.now)
+
+    def _resolve_cmax(self) -> np.ndarray:
+        if self.config.cmax_mode == "exact":
+            return CMAX.copy()
+        # Gossip estimation (reference [23]); messages are charged evenly.
+        values = {
+            h.node_id: h.machine.capacity.values for h in self.hosts.values()
+        }
+        result = gossip_aggregate(values, "max", self.rngs.stream("aggregation"))
+        ids = sorted(values)
+        for i in range(result.messages):
+            self.traffic.charge("aggregation", ids[i % len(ids)])
+        return result.consensus()
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+    def _submit_task(self, task: Task) -> None:
+        self.ratios.on_generated()
+        self._tasks.append(task)
+        self.tracer.emit(self.sim.now, "generated", task.task_id, task.origin)
+
+        if self.config.local_first:
+            origin = self.hosts[task.origin]
+            if origin.alive and dominates(
+                origin.executor.availability(self.sim.now), task.expectation
+            ):
+                self._admit(task, task.origin)
+                return
+
+        done = {"fired": False}
+
+        submitted_at = self.sim.now
+
+        def on_result(records: list[StateRecord], messages: int) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            failsafe.cancel()
+            task.query_messages = messages
+            self.latency.observe(self.sim.now - submitted_at, messages)
+            self._on_query_result(task, records)
+
+        # Failsafe: a protocol chain lost to churn must not leak the task.
+        failsafe = self.sim.schedule(
+            self.config.query_failsafe_timeout, on_result, [], 0
+        )
+        self.protocol.submit_query(task.expectation, task.origin, on_result)
+
+    def _on_query_result(self, task: Task, records: list[StateRecord]) -> None:
+        if not records:
+            task.failed = True
+            self.ratios.on_failed()
+            self.tracer.emit(self.sim.now, "query-failed", task.task_id)
+            return
+        self.tracer.emit(
+            self.sim.now, "query-ok", task.task_id,
+            candidates=len({r.owner for r in records}),
+            messages=task.query_messages,
+        )
+        self._try_place(task, list(records), self.config.placement_retries)
+
+    def _try_place(
+        self, task: Task, records: list[StateRecord], retries_left: int
+    ) -> None:
+        pick = select_record(
+            records,
+            task.expectation,
+            self.cmax,
+            self.rngs.stream("selection"),
+            self.config.selection_policy,
+        )
+        if pick is None:
+            task.failed = True
+            self.ratios.on_failed()
+            self.tracer.emit(self.sim.now, "rejected", task.task_id)
+            return
+        remaining = [r for r in records if r.owner != pick.owner]
+        delay = self.network.delay(task.origin, pick.owner, PLACEMENT_MSG_BITS)
+        self.traffic.charge("placement", task.origin)
+        self.sim.schedule(
+            delay, self._arrive_placement, task, pick.owner, remaining, retries_left
+        )
+
+    def _arrive_placement(
+        self,
+        task: Task,
+        target: int,
+        remaining: list[StateRecord],
+        retries_left: int,
+    ) -> None:
+        accept = self.is_alive(target)
+        if accept and self.config.admission == "strict":
+            host = self.hosts[target]
+            accept = dominates(
+                host.executor.availability(self.sim.now), task.expectation
+            )
+        if not accept:
+            if remaining and retries_left > 0:
+                self._try_place(task, remaining, retries_left - 1)
+            else:
+                task.failed = True
+                self.ratios.on_failed()
+                self.tracer.emit(self.sim.now, "rejected", task.task_id, target)
+            return
+        self._admit(task, target)
+
+    def _admit(self, task: Task, target: int) -> None:
+        host = self.hosts[target]
+        host.executor.place(task, self.sim.now)
+        task.placed_node = target
+        self.ratios.on_placed()
+        self.balance.on_place(target)
+        self.tracer.emit(self.sim.now, "admitted", task.task_id, target)
+        self._reschedule_completion(host)
+
+    # ------------------------------------------------------------------
+    # execution events
+    # ------------------------------------------------------------------
+    def _reschedule_completion(self, host: HostNode) -> None:
+        if host.completion_handle is not None:
+            host.completion_handle.cancel()
+            host.completion_handle = None
+        nxt = host.executor.next_completion()
+        if nxt is None:
+            return
+        when, task = nxt
+        host.completion_handle = self.sim.schedule_at(
+            max(when, self.sim.now), self._complete, host.node_id, task.task_id
+        )
+
+    def _complete(self, node_id: int, task_id: int) -> None:
+        host = self.hosts[node_id]
+        host.completion_handle = None
+        task = host.executor.complete(task_id, self.sim.now)
+        self.ratios.on_finished()
+        self.balance.on_remove(node_id)
+        self.tracer.emit(self.sim.now, "completed", task.task_id, node_id)
+        self._efficiencies.append(task.efficiency(self.mean_capacity))
+        if self.checkpoints is not None:
+            self.checkpoints.forget(task_id)
+        if task.origin != node_id:
+            # completion ack back to the origin (charged, no handler needed)
+            self.traffic.charge("completion-ack", node_id)
+        self._reschedule_completion(host)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart (§VI future work)
+    # ------------------------------------------------------------------
+    def _checkpoint_tick(self) -> None:
+        """Snapshot every running task to its origin's checkpoint archive;
+        one checkpoint transfer message is charged per task."""
+        assert self.checkpoints is not None
+        now = self.sim.now
+        for node_id in list(self._alive):
+            executor = self.hosts[node_id].executor
+            if executor.n_running == 0:
+                continue
+            executor.advance(now)
+            for task in executor.running_tasks():
+                self.checkpoints.take(task, now)
+                self.traffic.charge("checkpoint", node_id)
+
+    def _recover(self, task: Task) -> None:
+        """Roll a killed task back to its snapshot and re-run discovery."""
+        assert self.checkpoints is not None
+        self.checkpoints.restore(task)
+        self.recovered_tasks += 1
+        self.tracer.emit(self.sim.now, "recovered", task.task_id, task.origin)
+
+        done = {"fired": False}
+
+        def on_result(records: list[StateRecord], messages: int) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            failsafe.cancel()
+            task.query_messages += messages
+            self._on_query_result(task, records)
+
+        failsafe = self.sim.schedule(
+            self.config.query_failsafe_timeout, on_result, [], 0
+        )
+        self.protocol.submit_query(task.expectation, task.origin, on_result)
+
+    # ------------------------------------------------------------------
+    # churn (Fig. 8)
+    # ------------------------------------------------------------------
+    def _churn_event(self) -> None:
+        # One node departs abruptly and a fresh node joins, keeping the
+        # population constant as in the paper's dynamic-degree setup.
+        victim_id = self._pick_churn_victim()
+        if victim_id is not None:
+            self._depart(victim_id)
+            newcomer = self._create_host(self._machine_rng)
+            self.protocol.on_join(newcomer)
+            self.workload.start_node(newcomer, self.sim, self._submit_task, self.is_alive)
+        self.sim.schedule(
+            self._churn_rng.exponential(self._churn_interval), self._churn_event
+        )
+
+    def _pick_churn_victim(self) -> Optional[int]:
+        alive = sorted(self._alive)
+        if len(alive) <= 2:
+            return None
+        return alive[int(self._churn_rng.integers(len(alive)))]
+
+    def _depart(self, node_id: int) -> None:
+        host = self.hosts[node_id]
+        host.alive = False
+        self._alive.discard(node_id)
+        if self.config.churn_kills_tasks:
+            if host.completion_handle is not None:
+                host.completion_handle.cancel()
+                host.completion_handle = None
+            for task in host.executor.running_tasks():
+                host.executor.remove(task.task_id, self.sim.now)
+                self.ratios.on_evicted()
+                self.balance.on_remove(node_id)
+                self.tracer.emit(self.sim.now, "evicted", task.task_id, node_id)
+                if self.checkpoints is not None and self.is_alive(task.origin):
+                    self._recover(task)
+        # else: the node drops off the overlay but its resident tasks run
+        # to completion (the paper's churn model; see config docstring).
+        self.protocol.on_leave(node_id)
+        self.network.remove_node(node_id)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        started = time.perf_counter()
+        self.sim.run(until=self.config.duration)
+        wall = time.perf_counter() - started
+        return SimulationResult(
+            config=self.config,
+            series=self.collector.series(),
+            generated=self.ratios.generated,
+            finished=self.ratios.finished,
+            failed=self.ratios.failed,
+            placed=self.ratios.placed,
+            evicted=self.ratios.evicted,
+            recovered=self.recovered_tasks,
+            traffic_by_kind=self.traffic.kind_snapshot(),
+            traffic_total=self.traffic.total(),
+            per_node_msg_cost=self.traffic.per_node_cost(self._peak_population),
+            peak_population=self._peak_population,
+            balance=self.balance.report(self._peak_population),
+            query_latency=self.latency.report(),
+            efficiencies=list(self._efficiencies),
+            wall_clock_s=wall,
+        )

@@ -1,0 +1,150 @@
+"""Per-figure/table scenario builders (the experiment index of DESIGN.md §4).
+
+Each scenario runs one `SOCSimulation` per curve of the corresponding paper
+figure and returns ``{label: SimulationResult}``.  Scale presets shrink the
+population/horizon but keep the per-node load regime, preserving the
+qualitative shapes the paper reports (who wins, where the crossovers are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import SimulationResult, SOCSimulation
+
+__all__ = [
+    "run_protocol",
+    "run_scenario",
+    "SCENARIOS",
+    "FIG4_PROTOCOLS",
+    "FIG567_PROTOCOLS",
+    "CHURN_DEGREES",
+    "scalability_populations",
+]
+
+#: Fig. 4 compares the unstructured, replication and diffusion families.
+FIG4_PROTOCOLS = ("newscast", "sid-can", "khdn-can")
+
+#: Figs. 5-7 compare the six §IV-B variants.
+FIG567_PROTOCOLS = (
+    "sid-can",
+    "hid-can",
+    "sid-can+sos",
+    "hid-can+sos",
+    "sid-can+vd",
+    "newscast",
+)
+
+#: Fig. 8 dynamic degrees (fraction of nodes churning per 3000 s lifetime).
+CHURN_DEGREES = (0.0, 0.25, 0.50, 0.75, 0.95)
+
+
+def scalability_populations(scale: str) -> list[int]:
+    """Table III population sweep, scaled: the paper uses 2000..12000."""
+    base, _ = SCALES[scale]
+    return [base * m for m in (1, 2, 3, 4, 5, 6)]
+
+
+def run_protocol(
+    protocol: str,
+    scale: str = "small",
+    demand_ratio: float = 1.0,
+    seed: int = 42,
+    **overrides: Any,
+) -> SimulationResult:
+    """Run a single protocol curve and return its result."""
+    config = ExperimentConfig.at_scale(
+        scale, protocol=protocol, demand_ratio=demand_ratio, seed=seed, **overrides
+    )
+    return SOCSimulation(config).run()
+
+
+# ----------------------------------------------------------------------
+# scenario builders
+# ----------------------------------------------------------------------
+def fig4a(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """T-Ratio over a day at demand ratio 0.84 (wide demands)."""
+    return {
+        p: run_protocol(p, scale, demand_ratio=0.84, seed=seed)
+        for p in FIG4_PROTOCOLS
+    }
+
+
+def fig4b(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Same at demand ratio 0.25 — the Newscast/SID-CAN crossover."""
+    return {
+        p: run_protocol(p, scale, demand_ratio=0.25, seed=seed)
+        for p in FIG4_PROTOCOLS
+    }
+
+
+def _fig567(demand_ratio: float, scale: str, seed: int) -> dict[str, SimulationResult]:
+    return {
+        p: run_protocol(p, scale, demand_ratio=demand_ratio, seed=seed)
+        for p in FIG567_PROTOCOLS
+    }
+
+
+def fig5(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=1 (T-Ratio, F-Ratio, fairness series)."""
+    return _fig567(1.0, scale, seed)
+
+
+def fig6(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=0.5."""
+    return _fig567(0.5, scale, seed)
+
+
+def fig7(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=0.25 (HID's near-zero failed tasks)."""
+    return _fig567(0.25, scale, seed)
+
+
+def fig8(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """HID-CAN under churn, λ=0.5 (dynamic degree sweep)."""
+    out: dict[str, SimulationResult] = {}
+    for degree in CHURN_DEGREES:
+        label = "static" if degree == 0 else f"dynamic {degree:.0%}"
+        out[label] = run_protocol(
+            "hid-can", scale, demand_ratio=0.5, seed=seed, churn_degree=degree
+        )
+    return out
+
+
+def table3(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """HID-CAN scalability sweep (λ=0.5): four metrics vs population."""
+    _, duration = SCALES[scale]
+    out: dict[str, SimulationResult] = {}
+    for n in scalability_populations(scale):
+        config = ExperimentConfig.at_scale(
+            scale, protocol="hid-can", demand_ratio=0.5, seed=seed
+        )
+        config = replace(config, n_nodes=n, duration=duration)
+        out[str(n)] = SOCSimulation(config).run()
+    return out
+
+
+SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table3": table3,
+}
+
+
+def run_scenario(
+    name: str, scale: str = "small", seed: int = 42
+) -> dict[str, SimulationResult]:
+    """Dispatch a scenario by its paper figure/table id."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        ) from None
+    return builder(scale=scale, seed=seed)

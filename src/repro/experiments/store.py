@@ -1,0 +1,112 @@
+"""Persistence for experiment results.
+
+Serializes :class:`SimulationResult` to a stable JSON document (config,
+end-of-run metrics, hourly series, traffic breakdown) so runs can be
+archived, diffed across code versions, and re-rendered without re-running
+the simulations — the workflow behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.experiments.runner import SimulationResult
+
+__all__ = ["result_to_dict", "save_results", "load_results", "diff_results"]
+
+#: Bump when the document layout changes.
+SCHEMA_VERSION = 1
+
+
+def _config_dict(config) -> dict[str, Any]:
+    doc = dataclasses.asdict(config)
+    # nested frozen dataclasses (pidcan, network) become dicts already;
+    # keep only JSON-representable values
+    return json.loads(json.dumps(doc, default=str))
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """A JSON-ready document for one run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": _config_dict(result.config),
+        "metrics": {
+            "t_ratio": result.t_ratio,
+            "f_ratio": result.f_ratio,
+            "fairness": result.fairness,
+            "per_node_msg_cost": result.per_node_msg_cost,
+            "generated": result.generated,
+            "finished": result.finished,
+            "failed": result.failed,
+            "placed": result.placed,
+            "evicted": result.evicted,
+            "recovered": result.recovered,
+            "peak_population": result.peak_population,
+        },
+        "balance": result.balance.as_dict(),
+        "query_latency": result.query_latency.as_dict(),
+        "traffic_by_kind": dict(result.traffic_by_kind),
+        "series": {
+            name: series.as_dict() for name, series in result.series.items()
+        },
+        "wall_clock_s": result.wall_clock_s,
+    }
+
+
+def save_results(
+    results: Mapping[str, SimulationResult], path: str | Path
+) -> Path:
+    """Write ``{label: result}`` to ``path`` as one JSON document."""
+    path = Path(path)
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "runs": {label: result_to_dict(res) for label, res in results.items()},
+    }
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True, allow_nan=True))
+    return path
+
+
+def load_results(path: str | Path) -> dict[str, dict[str, Any]]:
+    """Load the raw run documents keyed by label (no object rehydration —
+    the document is the analysis interface)."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema {doc.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return doc["runs"]
+
+
+def diff_results(
+    old: Mapping[str, Mapping[str, Any]],
+    new: Mapping[str, Mapping[str, Any]],
+    metrics: tuple[str, ...] = ("t_ratio", "f_ratio", "fairness"),
+    tolerance: float = 0.0,
+) -> list[str]:
+    """Metric-level differences between two saved documents.
+
+    Returns human-readable difference lines (empty = identical within
+    ``tolerance``); labels present on only one side are reported too.
+    """
+    lines: list[str] = []
+    for label in sorted(set(old) | set(new)):
+        if label not in old:
+            lines.append(f"{label}: only in new")
+            continue
+        if label not in new:
+            lines.append(f"{label}: only in old")
+            continue
+        for metric in metrics:
+            a = old[label]["metrics"].get(metric)
+            b = new[label]["metrics"].get(metric)
+            if a is None or b is None:
+                continue
+            if a != a and b != b:  # both NaN
+                continue
+            if abs(a - b) > tolerance:
+                lines.append(f"{label}.{metric}: {a:.4f} -> {b:.4f}")
+    return lines

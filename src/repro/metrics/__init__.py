@@ -1,0 +1,16 @@
+"""Evaluation metrics of §IV: T-Ratio, F-Ratio, Jain fairness, traffic."""
+
+from repro.metrics.traffic import TrafficMeter
+from repro.metrics.fairness import jain_index
+from repro.metrics.ratios import RatioTracker
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.balance import PlacementBalance, BalanceReport
+
+__all__ = [
+    "TrafficMeter",
+    "jain_index",
+    "RatioTracker",
+    "MetricsCollector",
+    "PlacementBalance",
+    "BalanceReport",
+]

@@ -1,0 +1,91 @@
+"""Placement-balance metrics — quantifying contention dispersal.
+
+The paper's central design goal is *contention minimization*: analogous
+uncoordinated queries must not funnel their tasks onto the same few hosts
+(§I, §III-C).  T-Ratio only measures the downstream effect; these metrics
+measure the cause directly, from the distribution of task placements over
+hosts:
+
+- **placement fairness** — Jain's index over per-host placement counts
+  (1 = perfectly dispersed; 1/n = everything on one host);
+- **hotspot share** — fraction of all placements absorbed by the busiest
+  5% of hosts;
+- **peak concurrency** — the largest number of tasks simultaneously
+  resident on any host (oversubscription pressure).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.fairness import jain_index
+
+__all__ = ["PlacementBalance", "BalanceReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceReport:
+    """Snapshot of placement dispersal over the whole run."""
+
+    placements: int
+    hosts_used: int
+    placement_fairness: float
+    hotspot_share: float
+    peak_concurrency: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "placements": float(self.placements),
+            "hosts_used": float(self.hosts_used),
+            "placement_fairness": self.placement_fairness,
+            "hotspot_share": self.hotspot_share,
+            "peak_concurrency": float(self.peak_concurrency),
+        }
+
+
+class PlacementBalance:
+    """Accumulates placement/removal events during a simulation."""
+
+    def __init__(self) -> None:
+        self._placed: defaultdict[int, int] = defaultdict(int)
+        self._resident: defaultdict[int, int] = defaultdict(int)
+        self._peak = 0
+
+    # ------------------------------------------------------------------
+    def on_place(self, node_id: int) -> None:
+        self._placed[node_id] += 1
+        self._resident[node_id] += 1
+        self._peak = max(self._peak, self._resident[node_id])
+
+    def on_remove(self, node_id: int) -> None:
+        if self._resident.get(node_id, 0) <= 0:
+            raise ValueError(f"no resident task to remove on node {node_id}")
+        self._resident[node_id] -= 1
+
+    # ------------------------------------------------------------------
+    def report(self, population: int) -> BalanceReport:
+        """Balance over ``population`` hosts (unused hosts count as zero —
+        a protocol that only ever uses ten hosts is *not* balanced)."""
+        if population <= 0:
+            raise ValueError("population must be positive")
+        counts = list(self._placed.values())
+        total = sum(counts)
+        if total == 0:
+            return BalanceReport(0, 0, float("nan"), float("nan"), 0)
+        padded = counts + [0] * max(0, population - len(counts))
+        # Jain over zeros is ill-behaved; use counts+1 smoothing on the
+        # padded vector so "never used" still penalizes the index.
+        fairness = jain_index([c + 1e-9 for c in padded])
+        ordered = sorted(counts, reverse=True)
+        top = max(1, int(np.ceil(population * 0.05)))
+        hotspot = sum(ordered[:top]) / total
+        return BalanceReport(
+            placements=total,
+            hosts_used=len(counts),
+            placement_fairness=fairness,
+            hotspot_share=hotspot,
+            peak_concurrency=self._peak,
+        )

@@ -1,0 +1,52 @@
+"""Periodic metric sampling for the hour-resolution series in Figs. 4-8."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.metrics.fairness import jain_index
+from repro.metrics.ratios import RatioTracker
+from repro.sim.engine import Simulator
+from repro.sim.stats import TimeSeries
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Samples T-Ratio / F-Ratio / fairness on a fixed period.
+
+    ``efficiency_source`` returns the efficiency samples of all finished
+    tasks so far (the runner computes them against the mean capacity).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ratios: RatioTracker,
+        efficiency_source: Callable[[], Sequence[float]],
+        period: float = 3600.0,
+    ):
+        self.sim = sim
+        self.ratios = ratios
+        self.efficiency_source = efficiency_source
+        self.period = float(period)
+        self.t_ratio = TimeSeries("t_ratio")
+        self.f_ratio = TimeSeries("f_ratio")
+        self.fairness = TimeSeries("fairness")
+
+    def start(self) -> None:
+        self.sim.periodic(self.period, self.sample)
+
+    def sample(self) -> None:
+        now = self.sim.now
+        self.ratios.check()
+        self.t_ratio.append(now, self.ratios.t_ratio())
+        self.f_ratio.append(now, self.ratios.f_ratio())
+        self.fairness.append(now, jain_index(self.efficiency_source()))
+
+    def series(self) -> dict[str, TimeSeries]:
+        return {
+            "t_ratio": self.t_ratio,
+            "f_ratio": self.f_ratio,
+            "fairness": self.fairness,
+        }

@@ -1,0 +1,30 @@
+"""Jain's fairness index (Eq. 4 of the paper, after [28]).
+
+    ϕ = (Σ e_ij)² / (m · Σ e_ij²)
+
+over the execution efficiencies ``e_ij`` of finished tasks, where the
+efficiency is the task's *expected* execution time (estimated from its load
+and the system-wide average capacity) divided by its *real* completion span.
+ϕ ∈ (0, 1]; 1 means all tasks were treated equally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["jain_index"]
+
+
+def jain_index(efficiencies: Sequence[float]) -> float:
+    """Jain's index of the given efficiency samples; NaN for no samples."""
+    e = np.asarray(list(efficiencies), dtype=np.float64)
+    if e.size == 0:
+        return float("nan")
+    if bool(np.any(e < 0)):
+        raise ValueError("efficiencies must be non-negative")
+    denom = e.size * float(np.sum(e * e))
+    if denom == 0:
+        return float("nan")
+    return float(np.sum(e)) ** 2 / denom

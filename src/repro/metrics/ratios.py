@@ -1,0 +1,55 @@
+"""Task outcome ratios (§II):
+
+- **F-Ratio(t)** — tasks that could not find any qualified node, over tasks
+  generated up to ``t`` (the resource matching rate's complement);
+- **T-Ratio(t)** — tasks finished over tasks generated up to ``t`` (the
+  implicit contention indicator: fewer contended nodes → faster finishes).
+"""
+
+from __future__ import annotations
+
+__all__ = ["RatioTracker"]
+
+
+class RatioTracker:
+    """Running counters for generated / finished / failed tasks."""
+
+    def __init__(self) -> None:
+        self.generated = 0
+        self.finished = 0
+        self.failed = 0
+        self.placed = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def on_generated(self) -> None:
+        self.generated += 1
+
+    def on_finished(self) -> None:
+        self.finished += 1
+
+    def on_failed(self) -> None:
+        self.failed += 1
+
+    def on_placed(self) -> None:
+        self.placed += 1
+
+    def on_evicted(self) -> None:
+        self.evicted += 1
+
+    # ------------------------------------------------------------------
+    def t_ratio(self) -> float:
+        """Throughput ratio; 0 before any task is generated."""
+        return self.finished / self.generated if self.generated else 0.0
+
+    def f_ratio(self) -> float:
+        """Failed task ratio; 0 before any task is generated."""
+        return self.failed / self.generated if self.generated else 0.0
+
+    def check(self) -> None:
+        """Internal consistency: outcomes never exceed generation."""
+        assert self.finished + self.failed <= self.generated, (
+            self.finished,
+            self.failed,
+            self.generated,
+        )

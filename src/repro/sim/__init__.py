@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, single-threaded event engine that stands in for the
+Peersim simulator used by the paper.  Messages between overlay nodes are
+modelled with a LAN/WAN latency + bandwidth delay model; multi-hop overlay
+routes are computed in-process and charged per-hop to the traffic meter, so
+the event volume stays proportional to protocol-level messages rather than
+physical hops.
+"""
+
+from repro.sim.engine import Simulator, EventHandle
+from repro.sim.events import Event, PRIORITY_DEFAULT, PRIORITY_HIGH, PRIORITY_LOW
+from repro.sim.network import NetworkModel, NetworkParams
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Counter, TimeSeries
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Event",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "NetworkModel",
+    "NetworkParams",
+    "RngRegistry",
+    "Counter",
+    "TimeSeries",
+]

@@ -1,0 +1,115 @@
+"""LAN/WAN network model (Table I, rows 7-8 of the paper).
+
+Nodes are grouped into LANs; intra-LAN transfers use the LAN bandwidth
+(uniform 5-10 Mbps) and a small local latency, while cross-LAN transfers go
+over the WAN (uniform 0.2-2 Mbps per node) with ~200 ms latency — the value
+the paper cites for one WAN network delay.  A message's delivery delay is
+``latency + size / bottleneck_bandwidth``.
+
+The model is deliberately simple: control messages in the protocols are
+small (≈1 KB) so latency dominates, matching the paper's assumption that a
+hop costs "about 200 milliseconds on the WAN".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkParams", "NetworkModel", "CONTROL_MSG_BITS", "STATE_MSG_BITS"]
+
+#: Size of a routing / query / index control message (1 KB).
+CONTROL_MSG_BITS = 8 * 1024
+#: Size of a state-update record message (512 B — one resource vector + id).
+STATE_MSG_BITS = 4 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkParams:
+    """Physical-network constants (defaults follow the paper's Table I)."""
+
+    lan_size: int = 20
+    lan_bw_mbps_lo: float = 5.0
+    lan_bw_mbps_hi: float = 10.0
+    wan_bw_mbps_lo: float = 0.2
+    wan_bw_mbps_hi: float = 2.0
+    lan_latency_s: float = 0.005
+    wan_latency_s: float = 0.2
+
+
+class NetworkModel:
+    """Assigns nodes to LANs and computes point-to-point transfer delays.
+
+    Node ids are arbitrary hashable ints; joining nodes are assigned to the
+    least-populated LAN (keeps LAN sizes near ``lan_size`` under churn).
+    """
+
+    def __init__(self, params: NetworkParams, rng: np.random.Generator):
+        self.params = params
+        self._rng = rng
+        self._lan_of: dict[int, int] = {}
+        self._lan_members: dict[int, int] = {}
+        self._lan_bw: dict[int, float] = {}
+        self._wan_bw: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int) -> None:
+        """Register a node, assigning it a LAN and a WAN uplink bandwidth."""
+        if node_id in self._lan_of:
+            return
+        lan = self._pick_lan()
+        self._lan_of[node_id] = lan
+        self._lan_members[lan] = self._lan_members.get(lan, 0) + 1
+        if lan not in self._lan_bw:
+            self._lan_bw[lan] = float(
+                self._rng.uniform(self.params.lan_bw_mbps_lo, self.params.lan_bw_mbps_hi)
+            )
+        self._wan_bw[node_id] = float(
+            self._rng.uniform(self.params.wan_bw_mbps_lo, self.params.wan_bw_mbps_hi)
+        )
+
+    def remove_node(self, node_id: int) -> None:
+        lan = self._lan_of.pop(node_id, None)
+        if lan is not None:
+            self._lan_members[lan] -= 1
+        self._wan_bw.pop(node_id, None)
+
+    def _pick_lan(self) -> int:
+        n_lans = len(self._lan_members)
+        if n_lans == 0:
+            return 0
+        # Fill partially-empty LANs first; open a new LAN when all are full.
+        lan, count = min(self._lan_members.items(), key=lambda kv: (kv[1], kv[0]))
+        if count >= self.params.lan_size:
+            return n_lans
+        return lan
+
+    def lan_of(self, node_id: int) -> int:
+        return self._lan_of[node_id]
+
+    def node_bandwidth_mbps(self, node_id: int) -> float:
+        """The node's LAN bandwidth — its network-capacity dimension."""
+        return self._lan_bw[self._lan_of[node_id]]
+
+    # ------------------------------------------------------------------
+    # delays
+    # ------------------------------------------------------------------
+    def delay(self, src: int, dst: int, size_bits: float = CONTROL_MSG_BITS) -> float:
+        """One-way transfer delay in seconds for ``size_bits`` of payload."""
+        if src == dst:
+            return 0.0
+        p = self.params
+        if self._lan_of.get(src) == self._lan_of.get(dst):
+            bw = self._lan_bw[self._lan_of[src]]
+            return p.lan_latency_s + size_bits / (bw * 1e6)
+        bw = min(self._wan_bw.get(src, p.wan_bw_mbps_lo), self._wan_bw.get(dst, p.wan_bw_mbps_lo))
+        return p.wan_latency_s + size_bits / (bw * 1e6)
+
+    def path_delay(self, path: list[int], size_bits: float = CONTROL_MSG_BITS) -> float:
+        """Total delay of forwarding a message hop-by-hop along ``path``."""
+        return sum(
+            self.delay(a, b, size_bits) for a, b in zip(path[:-1], path[1:])
+        )

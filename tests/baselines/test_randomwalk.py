@@ -1,0 +1,61 @@
+"""Tests for the random-walk strawman (§III-A)."""
+
+import numpy as np
+
+from repro.baselines.randomwalk import RandomWalkProtocol
+from repro.core.protocol import PIDCANParams
+from tests.core.helpers import Harness
+
+
+def make_rw(n=48, seed=0, **kwargs):
+    h = Harness(n=n, dims=2, seed=seed)
+    proto = RandomWalkProtocol(h.ctx, PIDCANParams(resource_dims=2), **kwargs)
+    proto.bootstrap(list(range(n)))
+    # scatter availabilities over the upper region so many duty caches
+    # hold qualifying records — the walk only needs to hit one of them
+    rng = np.random.default_rng(seed + 100)
+    for i in range(n):
+        h.availability[i] = rng.uniform(0.5, 1.0, 2)
+    return h, proto
+
+
+def test_finds_record_when_records_are_plentiful():
+    h, proto = make_rw(seed=1)
+    h.sim.run(until=900.0)  # state updates populate duty caches
+    out = {}
+    proto.submit_query(
+        np.array([0.4, 0.4]), 0, lambda r, m: out.setdefault("records", r)
+    )
+    h.sim.run(until=1100.0)
+    assert out["records"]
+
+
+def test_walk_hop_budget_bounds_traffic():
+    h, proto = make_rw(seed=2, walk_hops=4)
+    h.sim.run(until=900.0)
+    before = h.traffic.by_kind.get("walk-query", 0)
+    out = {}
+    proto.submit_query(
+        np.array([0.99, 0.99]), 0, lambda r, m: out.setdefault("records", r)
+    )
+    h.sim.run(until=1100.0)
+    walked = h.traffic.by_kind.get("walk-query", 0) - before
+    assert walked <= 4
+    assert out["records"] == []
+
+
+def test_callback_always_fires():
+    h, proto = make_rw(seed=3)
+    calls = []
+    proto.submit_query(np.array([0.2, 0.2]), 0, lambda r, m: calls.append(1))
+    h.sim.run(until=600.0)
+    assert len(calls) == 1
+
+
+def test_churn_hooks():
+    h, proto = make_rw(seed=4)
+    proto.on_leave(5)
+    assert 5 not in proto.overlay
+    h.availability[777] = np.array([0.5, 0.5])
+    proto.on_join(777)
+    proto.overlay.check_invariants()

@@ -1,0 +1,152 @@
+"""Unit tests for the event-driven PSM executor."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.executor import NodeExecutor
+from repro.cloud.psm import VMOverhead
+from repro.cloud.resources import ResourceVector
+from repro.cloud.tasks import Task
+
+#: Zero overhead isolates the PSM arithmetic in timing tests.
+NO_OVERHEAD = VMOverhead(fractions=(0, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+
+
+def make_task(task_id, cpu=2.0, io=10.0, net=1.0, nominal=100.0):
+    return Task(
+        task_id=task_id,
+        origin=0,
+        demand=ResourceVector([cpu, io, net, 10.0, 100.0]),
+        nominal_time=nominal,
+        submit_time=0.0,
+    )
+
+
+def make_executor(cpu=10.0, io=100.0, net=10.0, overhead=NO_OVERHEAD):
+    return NodeExecutor(np.array([cpu, io, net, 100.0, 1000.0]), overhead)
+
+
+def test_single_task_alone_runs_faster_than_nominal():
+    # PSM grants the full capacity to a lone task: speedup = capacity/demand.
+    ex = make_executor(cpu=4.0, io=20.0, net=2.0)
+    task = make_task(0, cpu=2.0, io=10.0, net=1.0, nominal=100.0)
+    ex.place(task, 0.0)
+    when, t = ex.next_completion()
+    assert t is task
+    assert when == pytest.approx(50.0)  # 2× speedup on every dim
+    done = ex.complete(0, when)
+    assert done.finish_time == pytest.approx(50.0)
+
+
+def test_task_at_exact_capacity_finishes_at_nominal():
+    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+    task = make_task(0, cpu=2.0, io=10.0, net=1.0, nominal=100.0)
+    ex.place(task, 0.0)
+    when, _ = ex.next_completion()
+    assert when == pytest.approx(100.0)
+
+
+def test_oversubscription_stretches_completion():
+    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+    a = make_task(0, nominal=100.0)
+    b = make_task(1, nominal=100.0)
+    ex.place(a, 0.0)
+    ex.place(b, 0.0)
+    assert ex.is_overloaded()
+    when, _ = ex.next_completion()
+    # two identical tasks share capacity equal to one task's demand → 2×
+    assert when == pytest.approx(200.0)
+
+
+def test_shares_rescale_when_task_leaves():
+    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+    a = make_task(0, nominal=100.0)
+    b = make_task(1, nominal=100.0)
+    ex.place(a, 0.0)
+    ex.place(b, 0.0)
+    # at t=100 both are half done; remove b → a gets full capacity again
+    ex.remove(1, 100.0)
+    when, t = ex.next_completion()
+    assert t is a
+    assert when == pytest.approx(150.0)  # 50 units of work left at rate 1×
+
+
+def test_availability_is_capacity_minus_load():
+    ex = make_executor(cpu=10.0, io=100.0, net=10.0)
+    task = make_task(0, cpu=2.0, io=10.0, net=1.0)
+    ex.place(task, 0.0)
+    avail = ex.availability(0.0)
+    assert avail[0] == pytest.approx(8.0)
+    assert avail[1] == pytest.approx(90.0)
+
+
+def test_availability_accounts_for_vm_overhead():
+    overhead = VMOverhead(fractions=(0.05, 0.10, 0.05, 0.0, 0.0), flat=(0, 0, 0, 0, 5.0))
+    ex = make_executor(cpu=10.0, io=100.0, net=10.0, overhead=overhead)
+    task = make_task(0, cpu=2.0, io=10.0, net=1.0)
+    ex.place(task, 0.0)
+    avail = ex.availability(0.0)
+    assert avail[0] == pytest.approx(10.0 * 0.95 - 2.0)
+    assert avail[1] == pytest.approx(100.0 * 0.90 - 10.0)
+    assert avail[4] == pytest.approx(1000.0 - 5.0 - 100.0)
+
+
+def test_availability_clamps_at_zero_when_overloaded():
+    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+    ex.place(make_task(0), 0.0)
+    ex.place(make_task(1), 0.0)
+    assert np.all(ex.availability(0.0) >= 0.0)
+
+
+def test_progress_integrates_across_share_changes():
+    ex = make_executor(cpu=4.0, io=20.0, net=2.0)
+    a = make_task(0, nominal=100.0)  # alone: 2× speed
+    ex.place(a, 0.0)
+    b = make_task(1, nominal=100.0)
+    ex.place(b, 25.0)  # a is half done; now they share at exactly 1×
+    when, t = ex.next_completion()
+    assert t is a
+    assert when == pytest.approx(75.0)  # 50 work units left at rate 1.0
+    ex.complete(0, when)
+    when_b, t_b = ex.next_completion()
+    assert t_b is b
+    # b did 50 units by t=75, then runs at 2× → 25 more seconds
+    assert when_b == pytest.approx(100.0)
+
+
+def test_complete_rejects_unfinished_task():
+    ex = make_executor()
+    ex.place(make_task(0, nominal=1000.0), 0.0)
+    with pytest.raises(RuntimeError, match="work left"):
+        ex.complete(0, 1.0)
+
+
+def test_double_place_rejected():
+    ex = make_executor()
+    ex.place(make_task(0), 0.0)
+    with pytest.raises(ValueError):
+        ex.place(make_task(0), 1.0)
+
+
+def test_time_cannot_go_backwards():
+    ex = make_executor()
+    ex.place(make_task(0), 10.0)
+    with pytest.raises(ValueError):
+        ex.advance(5.0)
+
+
+def test_stalled_task_has_no_completion():
+    # 20 VMs × 5% CPU overhead → zero effective CPU: the task stalls.
+    overhead = VMOverhead(fractions=(0.05, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+    ex = make_executor(cpu=2.0, io=1000.0, net=100.0, overhead=overhead)
+    for i in range(20):
+        ex.place(make_task(i, cpu=0.1, io=1.0, net=0.1), 0.0)
+    assert ex.next_completion() is None
+
+
+def test_empty_executor():
+    ex = make_executor()
+    assert ex.next_completion() is None
+    assert ex.n_running == 0
+    assert not ex.is_overloaded()
+    assert np.allclose(ex.load(), 0.0)

@@ -1,0 +1,123 @@
+"""Stateful property test: the PSM executor under arbitrary operation
+sequences conserves work and never violates share proportionality."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cloud.executor import NodeExecutor
+from repro.cloud.psm import VMOverhead
+from repro.cloud.resources import ResourceVector
+from repro.cloud.tasks import Task
+
+NO_OVERHEAD = VMOverhead(fractions=(0, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+
+
+class ExecutorMachine(RuleBasedStateMachine):
+    """Random interleavings of place/advance/remove/complete."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.capacity = np.array([10.0, 50.0, 5.0, 100.0, 1000.0])
+        self.ex = NodeExecutor(self.capacity, NO_OVERHEAD)
+        self.now = 0.0
+        self.next_id = 0
+        self.total_work_injected = np.zeros(3)
+
+    # ------------------------------------------------------------------
+    @rule(
+        cpu=st.floats(min_value=0.5, max_value=8.0),
+        io=st.floats(min_value=1.0, max_value=40.0),
+        net=st.floats(min_value=0.1, max_value=4.0),
+        nominal=st.floats(min_value=10.0, max_value=500.0),
+    )
+    def place(self, cpu, io, net, nominal):
+        task = Task(
+            task_id=self.next_id,
+            origin=0,
+            demand=ResourceVector([cpu, io, net, 1.0, 10.0]),
+            nominal_time=nominal,
+            submit_time=self.now,
+        )
+        self.next_id += 1
+        self.total_work_injected += task.work
+        self.ex.place(task, self.now)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=200.0))
+    def advance(self, dt):
+        self.now += dt
+        self.ex.advance(self.now)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def remove_one(self, pick):
+        running = self.ex.running_tasks()
+        if not running:
+            return
+        task = running[pick % len(running)]
+        self.ex.remove(task.task_id, self.now)
+
+    @rule()
+    def complete_next(self):
+        nxt = self.ex.next_completion()
+        if nxt is None:
+            return
+        when, task = nxt
+        if when < self.now:
+            when = self.now
+        self.now = when
+        done = self.ex.complete(task.task_id, when)
+        assert done.finish_time == when
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def remaining_work_nonnegative(self):
+        if not hasattr(self, "ex"):
+            return
+        for task in self.ex.running_tasks():
+            assert np.all(task.remaining_work >= -1e-9)
+
+    @invariant()
+    def remaining_never_exceeds_injected(self):
+        if not hasattr(self, "ex"):
+            return
+        for task in self.ex.running_tasks():
+            assert np.all(task.remaining_work <= task.work + 1e-6)
+
+    @invariant()
+    def shares_proportional_to_expectations(self):
+        if not hasattr(self, "ex") or self.ex.n_running == 0:
+            return
+        self.ex._reshare()
+        rates = {
+            rt.task.task_id: rt.rates for rt in self.ex._running.values()
+        }
+        expectations = {
+            rt.task.task_id: rt.task.expectation[:3]
+            for rt in self.ex._running.values()
+        }
+        # r_j / e_j identical across tasks per dimension (Eq. 1)
+        ratios = np.stack(
+            [rates[tid] / expectations[tid] for tid in rates]
+        )
+        assert np.allclose(ratios, ratios[0], rtol=1e-9, atol=1e-12)
+
+    @invariant()
+    def allocation_never_exceeds_capacity(self):
+        if not hasattr(self, "ex") or self.ex.n_running == 0:
+            return
+        total_rates = np.sum(
+            [rt.rates for rt in self.ex._running.values()], axis=0
+        )
+        assert np.all(total_rates <= self.capacity[:3] + 1e-9)
+
+
+TestExecutorStateful = ExecutorMachine.TestCase
+TestExecutorStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,133 @@
+"""Unit tests for the proportional share model (Eq. 1).
+
+The anchor test reproduces the paper's worked example verbatim (§II): three
+tasks expecting {2 GFlops, 100 M}, {3, 200}, {4, 300} on a node with
+capacity {13.5 GFlops, 1200 M} receive {3, 200}, {4.5, 400}, {6, 600}.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.psm import (
+    VMOverhead,
+    aggregate_load,
+    allocate_shares,
+    effective_capacity,
+)
+
+
+def _pad(cpu, mem):
+    """The paper's example is 2-D; embed it in the canonical 5-dim layout
+    (cpu, io, net, disk, mem) with inert middle dimensions."""
+    return np.array([cpu, 1.0, 1.0, 1.0, mem])
+
+
+def test_paper_worked_example():
+    capacity = _pad(13.5, 1200.0)
+    tasks = [_pad(2.0, 100.0), _pad(3.0, 200.0), _pad(4.0, 300.0)]
+    shares = allocate_shares(capacity, tasks)
+    assert shares[0][0] == pytest.approx(3.0)
+    assert shares[0][4] == pytest.approx(200.0)
+    assert shares[1][0] == pytest.approx(4.5)
+    assert shares[1][4] == pytest.approx(400.0)
+    assert shares[2][0] == pytest.approx(6.0)
+    assert shares[2][4] == pytest.approx(600.0)
+
+
+def test_shares_sum_to_capacity_on_loaded_dims():
+    capacity = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+    tasks = [np.array([1.0, 2.0, 3.0, 4.0, 5.0]) * k for k in (1, 2, 3)]
+    shares = allocate_shares(capacity, tasks)
+    total = np.sum(shares, axis=0)
+    assert np.allclose(total, capacity)
+
+
+def test_no_tasks_no_shares():
+    assert allocate_shares(np.ones(5), []) == []
+
+
+def test_zero_load_dimension_allocates_zero():
+    capacity = np.ones(5) * 10
+    tasks = [np.array([1.0, 0.0, 0.0, 0.0, 0.0])]
+    shares = allocate_shares(capacity, tasks)
+    assert shares[0][0] == pytest.approx(10.0)
+    assert np.all(shares[0][1:] == 0.0)
+
+
+def test_undersubscribed_tasks_get_at_least_expectation():
+    capacity = np.ones(5) * 100
+    tasks = [np.ones(5) * 10, np.ones(5) * 20]
+    shares = allocate_shares(capacity, tasks)
+    for share, task in zip(shares, tasks):
+        assert np.all(share >= task)
+
+
+def test_oversubscribed_tasks_get_less_than_expectation():
+    capacity = np.ones(5) * 10
+    tasks = [np.ones(5) * 10, np.ones(5) * 20]
+    shares = allocate_shares(capacity, tasks)
+    for share, task in zip(shares, tasks):
+        assert np.all(share < task)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=5,
+            max_size=5,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_share_conservation_property(task_vectors):
+    capacity = np.ones(5) * 50.0
+    tasks = [np.asarray(t) for t in task_vectors]
+    shares = allocate_shares(capacity, tasks)
+    assert np.allclose(np.sum(shares, axis=0), capacity)
+    # shares are proportional: r_j / e_j identical across tasks per dim
+    ratios = np.stack([s / t for s, t in zip(shares, tasks)])
+    assert np.allclose(ratios, ratios[0])
+
+
+def test_aggregate_load_sums_expectations():
+    tasks = [np.ones(5), np.ones(5) * 2]
+    assert np.allclose(aggregate_load(tasks), np.ones(5) * 3)
+    assert np.allclose(aggregate_load([]), np.zeros(5))
+
+
+# ----------------------------------------------------------------------
+# VM maintenance overhead (§IV-A: 5% cpu, 10% io, 5% net, 5 MB memory)
+# ----------------------------------------------------------------------
+def test_effective_capacity_paper_overheads():
+    capacity = np.array([10.0, 100.0, 10.0, 240.0, 1000.0])
+    eff = effective_capacity(capacity, n_vms=2)
+    assert eff[0] == pytest.approx(10.0 * 0.90)  # 2 × 5% cpu
+    assert eff[1] == pytest.approx(100.0 * 0.80)  # 2 × 10% io
+    assert eff[2] == pytest.approx(10.0 * 0.90)  # 2 × 5% net
+    assert eff[3] == pytest.approx(240.0)  # disk free
+    assert eff[4] == pytest.approx(1000.0 - 10.0)  # 2 × 5 MB
+
+
+def test_effective_capacity_zero_vms_is_identity():
+    capacity = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert np.allclose(effective_capacity(capacity, 0), capacity)
+
+
+def test_effective_capacity_clamps_at_zero():
+    capacity = np.array([10.0, 10.0, 10.0, 10.0, 10.0])
+    eff = effective_capacity(capacity, n_vms=50)
+    assert np.all(eff >= 0.0)
+    assert eff[0] == 0.0  # 50 VMs × 5% >= 100%
+
+
+def test_custom_overhead():
+    overhead = VMOverhead(fractions=(0.5, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+    capacity = np.ones(5) * 8
+    eff = effective_capacity(capacity, 1, overhead)
+    assert eff[0] == pytest.approx(4.0)
+    assert np.allclose(eff[1:], 8.0)

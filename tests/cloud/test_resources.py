@@ -1,0 +1,107 @@
+"""Unit and property tests for resource vector algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.resources import (
+    N_DIMS,
+    RESOURCE_DIMS,
+    ResourceVector,
+    dominates,
+)
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=N_DIMS,
+    max_size=N_DIMS,
+)
+
+
+def test_canonical_dimension_order():
+    assert RESOURCE_DIMS == ("cpu", "io", "net", "disk", "mem")
+
+
+def test_of_requires_all_dims():
+    with pytest.raises(ValueError, match="missing"):
+        ResourceVector.of(cpu=1, io=2, net=3, disk=4)
+    with pytest.raises(ValueError, match="unknown"):
+        ResourceVector.of(cpu=1, io=2, net=3, disk=4, mem=5, gpu=6)
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        ResourceVector([1.0, 2.0])
+
+
+def test_values_are_read_only():
+    v = ResourceVector.zeros()
+    with pytest.raises(ValueError):
+        v.values[0] = 1.0
+
+
+def test_indexing_by_name_and_position():
+    v = ResourceVector.of(cpu=1, io=2, net=3, disk=4, mem=5)
+    assert v["cpu"] == 1.0
+    assert v[4] == 5.0
+    assert v.as_dict() == {"cpu": 1.0, "io": 2.0, "net": 3.0, "disk": 4.0, "mem": 5.0}
+
+
+def test_arithmetic():
+    a = ResourceVector.of(cpu=4, io=40, net=8, disk=120, mem=2048)
+    b = a.scaled(0.5)
+    assert (a - b).values.tolist() == b.values.tolist()
+    assert (b + b).values.tolist() == a.values.tolist()
+
+
+def test_clipped_floors_negatives():
+    v = ResourceVector([1.0, -2.0, 3.0, -4.0, 5.0]).clipped()
+    assert v.values.tolist() == [1.0, 0.0, 3.0, 0.0, 5.0]
+
+
+def test_normalized_maps_to_unit_box():
+    cmax = ResourceVector.of(cpu=10, io=10, net=10, disk=10, mem=10)
+    v = ResourceVector.of(cpu=5, io=20, net=0, disk=10, mem=1)
+    norm = v.normalized(cmax)
+    assert norm.tolist() == [0.5, 1.0, 0.0, 1.0, 0.1]  # clipped at 1
+
+
+def test_equality_and_hash():
+    a = ResourceVector([1, 2, 3, 4, 5])
+    b = ResourceVector([1, 2, 3, 4, 5])
+    c = ResourceVector([1, 2, 3, 4, 6])
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_dominance_is_reflexive(values):
+    v = np.asarray(values)
+    assert dominates(v, v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors, vectors)
+def test_dominance_is_antisymmetric_up_to_equality(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    if dominates(a, b) and dominates(b, a):
+        assert np.allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors, vectors, vectors)
+def test_dominance_is_transitive(a, b, c):
+    a, b, c = np.asarray(a), np.asarray(b), np.asarray(c)
+    # strict margins so float tolerance cannot break the chain
+    if dominates(a, b + 1e-6) and dominates(b, c + 1e-6):
+        assert dominates(a, c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors, vectors)
+def test_dominates_matches_componentwise_definition(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    expected = bool(np.all(a >= b - 1e-9))
+    assert dominates(a, b) == expected

@@ -1,0 +1,100 @@
+"""Unit and property tests for the Table-II task model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.machine import CMAX
+from repro.cloud.tasks import DEMAND_RANGES, Task, TaskFactory
+from repro.cloud.resources import ResourceVector
+
+
+def make_factory(lam=0.5, seed=0):
+    return TaskFactory(lam, np.random.default_rng(seed))
+
+
+def test_demand_ratio_validation():
+    with pytest.raises(ValueError):
+        TaskFactory(0.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        TaskFactory(1.5, np.random.default_rng(0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.05, max_value=1.0))
+def test_demands_within_table_two_ranges(lam):
+    fac = TaskFactory(lam, np.random.default_rng(1))
+    for _ in range(20):
+        d = fac.sample_demand().as_dict()
+        for dim, (lo, hi) in DEMAND_RANGES.items():
+            assert lo * lam - 1e-9 <= d[dim] <= hi * lam + 1e-9
+
+
+def test_demand_never_exceeds_scaled_cmax():
+    fac = make_factory(lam=0.25)
+    for _ in range(100):
+        assert np.all(fac.sample_demand().values <= 0.25 * CMAX + 1e-9)
+
+
+def test_nominal_time_mean_is_3000s():
+    fac = make_factory(lam=1.0, seed=3)
+    times = [fac.sample_nominal_time() for _ in range(4000)]
+    assert abs(np.mean(times) - 3000.0) < 100.0
+    assert min(times) >= 0.2 * 3000.0
+    assert max(times) <= 1.8 * 3000.0
+
+
+def test_task_ids_increment():
+    fac = make_factory()
+    t1 = fac.create(0, 0.0)
+    t2 = fac.create(1, 5.0)
+    assert (t1.task_id, t2.task_id) == (0, 1)
+    assert t2.origin == 1 and t2.submit_time == 5.0
+
+
+def test_work_vector_is_demand_times_nominal():
+    fac = make_factory()
+    t = fac.create(0, 0.0)
+    expected = t.demand.values[:3] * t.nominal_time
+    assert np.allclose(t.work, expected)
+    assert np.allclose(t.remaining_work, expected)
+
+
+def test_expected_time_at_mean_capacity():
+    t = Task(
+        task_id=0,
+        origin=0,
+        demand=ResourceVector([2.0, 10.0, 1.0, 10.0, 100.0]),
+        nominal_time=1000.0,
+        submit_time=0.0,
+    )
+    mean_cap = np.array([4.0, 40.0, 4.0, 100.0, 1000.0])
+    # work = (2000, 10000, 1000); rates (4, 40, 4) → times (500, 250, 250)
+    assert t.expected_time(mean_cap) == pytest.approx(500.0)
+
+
+def test_efficiency_requires_finished_task():
+    fac = make_factory()
+    t = fac.create(0, 0.0)
+    with pytest.raises(ValueError):
+        t.efficiency(np.ones(5))
+
+
+def test_efficiency_is_expected_over_actual():
+    t = Task(
+        task_id=0,
+        origin=0,
+        demand=ResourceVector([2.0, 10.0, 1.0, 10.0, 100.0]),
+        nominal_time=1000.0,
+        submit_time=0.0,
+    )
+    t.start_time = 10.0
+    t.finish_time = 1000.0
+    mean_cap = np.array([4.0, 40.0, 4.0, 100.0, 1000.0])
+    assert t.efficiency(mean_cap) == pytest.approx(500.0 / 1000.0)
+
+
+def test_demand_upper_bound_helper():
+    ub = TaskFactory.demand_upper_bound(0.5)
+    assert np.allclose(ub, 0.5 * CMAX)

@@ -1,0 +1,59 @@
+"""Unit tests for the Poisson workload generator."""
+
+import numpy as np
+
+from repro.cloud.tasks import TaskFactory
+from repro.cloud.workload import PoissonWorkload
+from repro.sim.engine import Simulator
+
+
+def make_workload(mean=100.0, seed=0):
+    factory = TaskFactory(0.5, np.random.default_rng(seed))
+    return PoissonWorkload(factory, np.random.default_rng(seed + 1), mean)
+
+
+def test_arrival_count_matches_rate():
+    sim = Simulator()
+    wl = make_workload(mean=100.0)
+    tasks = []
+    for node in range(20):
+        wl.start_node(node, sim, tasks.append, lambda n: True)
+    sim.run(until=10_000.0)
+    # 20 nodes × 10000/100 = 2000 expected arrivals; allow 4 sigma.
+    assert abs(len(tasks) - 2000) < 4 * np.sqrt(2000)
+    assert wl.generated == len(tasks)
+
+
+def test_tasks_carry_origin_and_submit_time():
+    sim = Simulator()
+    wl = make_workload(mean=50.0)
+    tasks = []
+    wl.start_node(7, sim, tasks.append, lambda n: True)
+    sim.run(until=1000.0)
+    assert tasks
+    for t in tasks:
+        assert t.origin == 7
+        assert 0 < t.submit_time <= 1000.0
+    assert [t.submit_time for t in tasks] == sorted(t.submit_time for t in tasks)
+
+
+def test_arrivals_stop_when_node_dies():
+    sim = Simulator()
+    wl = make_workload(mean=10.0)
+    alive = {"up": True}
+    tasks = []
+    wl.start_node(0, sim, tasks.append, lambda n: alive["up"])
+    sim.schedule(500.0, lambda: alive.__setitem__("up", False))
+    sim.run(until=5000.0)
+    assert tasks
+    assert all(t.submit_time <= 500.0 for t in tasks)
+
+
+def test_independent_nodes_have_different_arrivals():
+    sim = Simulator()
+    wl = make_workload(mean=100.0)
+    times = {0: [], 1: []}
+    wl.start_node(0, sim, lambda t: times[0].append(t.submit_time), lambda n: True)
+    wl.start_node(1, sim, lambda t: times[1].append(t.submit_time), lambda n: True)
+    sim.run(until=2000.0)
+    assert times[0] != times[1]

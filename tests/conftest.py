@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.can.overlay import CANOverlay
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def rng(rngs: RngRegistry) -> np.random.Generator:
+    return rngs.stream("test")
+
+
+def make_overlay(n: int, dims: int, seed: int = 0) -> CANOverlay:
+    """A bootstrapped overlay with node ids 0..n-1."""
+    overlay = CANOverlay(dims, np.random.default_rng(seed))
+    overlay.bootstrap(range(n))
+    return overlay
+
+
+@pytest.fixture
+def overlay_2d() -> CANOverlay:
+    return make_overlay(32, 2, seed=7)
+
+
+@pytest.fixture
+def overlay_5d() -> CANOverlay:
+    return make_overlay(64, 5, seed=7)

@@ -1,0 +1,9 @@
+"""Shared harness for core-protocol tests.
+
+The actual implementation lives in :mod:`repro.testing` (it is public API —
+the examples and downstream users drive the protocol machinery with it);
+tests keep the short ``Harness`` alias."""
+
+from repro.testing import ProtocolSandbox as Harness
+
+__all__ = ["Harness"]

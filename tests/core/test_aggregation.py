@@ -1,0 +1,56 @@
+"""Tests for gossip aggregation (reference [23])."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import gossip_aggregate
+
+
+def make_values(n=50, dims=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return {i: rng.uniform(1, 100, dims) for i in range(n)}
+
+
+def test_max_converges_exactly():
+    values = make_values()
+    truth = np.max(np.stack(list(values.values())), axis=0)
+    result = gossip_aggregate(values, "max", np.random.default_rng(1))
+    assert result.max_relative_error(truth) == 0.0
+    assert np.allclose(result.consensus(), truth)
+
+
+def test_mean_converges_approximately():
+    values = make_values(n=64)
+    truth = np.mean(np.stack(list(values.values())), axis=0)
+    result = gossip_aggregate(values, "mean", np.random.default_rng(2))
+    assert result.max_relative_error(truth) < 0.15
+    assert np.allclose(result.consensus(), truth, rtol=0.1)
+
+
+def test_mean_preserves_total_mass():
+    values = make_values(n=32)
+    total = np.sum(np.stack(list(values.values())), axis=0)
+    result = gossip_aggregate(values, "mean", np.random.default_rng(3))
+    after = np.sum(np.stack(list(result.estimates.values())), axis=0)
+    assert np.allclose(after, total)  # pairwise averaging conserves sum
+
+
+def test_message_count_scales_with_rounds():
+    values = make_values(n=20)
+    r1 = gossip_aggregate(values, "max", np.random.default_rng(4), rounds=1)
+    r5 = gossip_aggregate(values, "max", np.random.default_rng(4), rounds=5)
+    assert r5.messages > r1.messages
+    assert r1.messages <= 2 * 20  # ≤ 2 per node per round
+
+
+def test_single_node_is_its_own_consensus():
+    values = {7: np.array([3.0, 4.0])}
+    result = gossip_aggregate(values, "max", np.random.default_rng(5))
+    assert np.allclose(result.consensus(), [3.0, 4.0])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        gossip_aggregate({}, "max", np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        gossip_aggregate({0: np.ones(2)}, "median", np.random.default_rng(0))

@@ -1,0 +1,121 @@
+"""Stateful soak of the full PID-CAN protocol under churn and queries.
+
+A hypothesis state machine interleaves joins, abrupt departures, simulated
+time and query submissions against a live PIDCANProtocol, asserting after
+every step that the overlay stays structurally consistent and that every
+query eventually resolves exactly once.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.context import ProtocolContext
+from repro.core.protocol import PIDCANParams, PIDCANProtocol
+from repro.metrics.traffic import TrafficMeter
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkModel, NetworkParams
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(0)
+        self.network = NetworkModel(NetworkParams(), np.random.default_rng(1))
+        self.alive: set[int] = set()
+        self.next_id = 0
+        self.query_log: list[dict] = []
+
+        ctx = ProtocolContext(
+            sim=self.sim,
+            network=self.network,
+            traffic=TrafficMeter(),
+            rng=np.random.default_rng(2),
+            cmax=np.ones(3),
+            availability_of=lambda i: np.full(3, 0.6),
+            is_alive=lambda i: i in self.alive,
+        )
+        self.proto = PIDCANProtocol(
+            ctx, PIDCANParams(resource_dims=3, query_timeout=30.0)
+        )
+        ids = [self._fresh_id() for _ in range(8)]
+        self.proto.bootstrap(ids)
+
+    def _fresh_id(self) -> int:
+        node_id = self.next_id
+        self.next_id += 1
+        self.network.add_node(node_id)
+        self.alive.add(node_id)
+        return node_id
+
+    # ------------------------------------------------------------------
+    @rule()
+    def join(self):
+        self.proto.on_join(self._fresh_id())
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def crash(self, pick):
+        if len(self.alive) <= 3:
+            return
+        victims = sorted(self.alive)
+        victim = victims[pick % len(victims)]
+        self.alive.discard(victim)
+        self.network.remove_node(victim)
+        self.proto.on_leave(victim)
+
+    @rule(
+        demand=st.floats(min_value=0.05, max_value=0.9),
+        pick=st.integers(min_value=0, max_value=10_000),
+    )
+    def query(self, demand, pick):
+        members = sorted(self.alive)
+        requester = members[pick % len(members)]
+        entry = {"fired": 0}
+        self.query_log.append(entry)
+        self.proto.submit_query(
+            np.full(3, demand),
+            requester,
+            lambda r, m, e=entry: e.__setitem__("fired", e["fired"] + 1),
+        )
+
+    @rule(dt=st.floats(min_value=1.0, max_value=500.0))
+    def advance(self, dt):
+        self.sim.run(until=self.sim.now + dt)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def overlay_consistent(self):
+        if hasattr(self, "proto"):
+            self.proto.overlay.check_invariants()
+
+    @invariant()
+    def protocol_state_matches_membership(self):
+        if not hasattr(self, "proto"):
+            return
+        assert set(self.proto.caches) == self.alive
+        assert set(self.proto.overlay.node_ids()) == self.alive
+
+    @invariant()
+    def callbacks_never_fire_twice(self):
+        if not hasattr(self, "proto"):
+            return
+        assert all(e["fired"] <= 1 for e in self.query_log)
+
+    def teardown(self):
+        # drain: every query must resolve exactly once (timeout backstop)
+        if hasattr(self, "sim"):
+            self.sim.run(until=self.sim.now + 120.0)
+            assert all(e["fired"] == 1 for e in self.query_log)
+
+
+TestProtocolStateful = ProtocolMachine.TestCase
+TestProtocolStateful.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)

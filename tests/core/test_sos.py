@@ -1,0 +1,58 @@
+"""Property tests for Slack-on-Submission (Formula 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sos import slack_expectation
+
+CMAX = np.array([25.6, 80.0, 10.0, 240.0, 4096.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.01, max_value=1.0), st.integers(min_value=0, max_value=10_000))
+def test_formula_three_bounds(scale, seed):
+    """e ⪯ e' ⪯ cmax for any expectation inside the capacity box."""
+    rng = np.random.default_rng(seed)
+    e = rng.uniform(0, scale, size=5) * CMAX
+    slacked = slack_expectation(e, CMAX, rng)
+    assert np.all(slacked >= e - 1e-12)
+    assert np.all(slacked <= CMAX + 1e-12)
+
+
+def test_slack_is_random_not_identity():
+    rng = np.random.default_rng(1)
+    e = CMAX * 0.1
+    draws = [slack_expectation(e, CMAX, rng) for _ in range(5)]
+    assert not all(np.allclose(draws[0], d) for d in draws[1:])
+
+
+def test_expectation_at_cmax_cannot_slack():
+    rng = np.random.default_rng(2)
+    slacked = slack_expectation(CMAX.copy(), CMAX, rng)
+    assert np.allclose(slacked, CMAX)
+
+
+def test_expectation_above_cmax_rejected():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        slack_expectation(CMAX * 1.1, CMAX, rng)
+
+
+def test_bias_greater_than_one_stays_closer_to_e():
+    rng_a = np.random.default_rng(4)
+    rng_b = np.random.default_rng(4)
+    e = CMAX * 0.1
+    uniform = np.mean(
+        [slack_expectation(e, CMAX, rng_a, bias=1.0) - e for _ in range(300)], axis=0
+    )
+    biased = np.mean(
+        [slack_expectation(e, CMAX, rng_b, bias=4.0) - e for _ in range(300)], axis=0
+    )
+    assert np.all(biased < uniform)
+
+
+def test_bias_validation():
+    with pytest.raises(ValueError):
+        slack_expectation(CMAX * 0.5, CMAX, np.random.default_rng(0), bias=0.0)

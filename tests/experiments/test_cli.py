@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+def test_parser_accepts_known_scenarios():
+    parser = cli.build_parser()
+    args = parser.parse_args(["fig5", "--scale", "tiny", "--seed", "7"])
+    assert args.scenario == "fig5"
+    assert args.scale == "tiny"
+    assert args.seed == 7
+
+
+def test_parser_rejects_unknown_scenario():
+    parser = cli.build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_parser_rejects_unknown_scale():
+    parser = cli.build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig5", "--scale", "galactic"])
+
+
+def test_main_renders_scenario(monkeypatch, capsys):
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import SOCSimulation
+
+    def stub_scenario(scale="small", seed=42):
+        cfg = ExperimentConfig(
+            n_nodes=25, duration=2000.0, demand_ratio=0.4, seed=seed,
+            sample_period=1000.0,
+        )
+        return {"hid-can": SOCSimulation(cfg).run()}
+
+    monkeypatch.setitem(cli.SCENARIOS, "fig5", stub_scenario)
+    monkeypatch.setattr(
+        "repro.experiments.cli.run_scenario",
+        lambda name, scale, seed: cli.SCENARIOS[name](scale=scale, seed=seed),
+    )
+    rc = cli.main(["fig5", "--scale", "tiny", "--seed", "1"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "throughput ratio" in captured.out
+    assert "wall clock" in captured.out

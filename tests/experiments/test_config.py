@@ -1,0 +1,57 @@
+"""Tests for experiment configuration and presets."""
+
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentConfig, env_scale
+
+
+def test_scale_presets():
+    paper = ExperimentConfig.at_scale("paper")
+    assert (paper.n_nodes, paper.duration) == (2000, 86400.0)
+    tiny = ExperimentConfig.at_scale("tiny")
+    assert tiny.n_nodes < paper.n_nodes
+    assert set(SCALES) == {"paper", "small", "tiny"}
+
+
+def test_at_scale_applies_overrides():
+    cfg = ExperimentConfig.at_scale("tiny", protocol="newscast", demand_ratio=0.25)
+    assert cfg.protocol == "newscast"
+    assert cfg.demand_ratio == 0.25
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="unknown scale"):
+        ExperimentConfig.at_scale("huge")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(n_nodes=1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(admission="maybe")
+    with pytest.raises(ValueError):
+        ExperimentConfig(cmax_mode="oracle")
+    with pytest.raises(ValueError):
+        ExperimentConfig(churn_degree=1.0)
+
+
+def test_with_protocol_merges_kwargs():
+    cfg = ExperimentConfig().with_protocol("khdn-can", k_hops=3)
+    assert cfg.protocol == "khdn-can"
+    assert cfg.protocol_kwargs == {"k_hops": 3}
+
+
+def test_describe_mentions_key_facts():
+    cfg = ExperimentConfig.at_scale("tiny", demand_ratio=0.5, churn_degree=0.25)
+    text = cfg.describe()
+    assert "0.5" in text and "churn" in text
+
+
+def test_env_scale(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert env_scale("tiny") == "tiny"
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert env_scale() == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "galactic")
+    with pytest.raises(ValueError):
+        env_scale()

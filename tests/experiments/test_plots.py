@@ -1,0 +1,53 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.plots import ascii_chart, scenario_charts
+
+
+def test_single_curve_renders_glyphs():
+    chart = ascii_chart({"a": ([0, 1, 2], [0.0, 0.5, 1.0])}, width=20, height=8)
+    assert "*" in chart
+    assert "*=a" in chart  # legend
+    assert "1.00" in chart and "0.00" in chart  # y labels
+
+
+def test_multiple_curves_distinct_glyphs():
+    chart = ascii_chart(
+        {
+            "a": ([0, 1], [0.1, 0.2]),
+            "b": ([0, 1], [0.8, 0.9]),
+        },
+        width=20,
+        height=8,
+    )
+    assert "*" in chart and "o" in chart
+    assert "*=a" in chart and "o=b" in chart
+
+
+def test_empty_input():
+    assert ascii_chart({}) == "(no curves)"
+    assert "empty" in ascii_chart({"a": ([], [])})
+
+
+def test_nan_values_skipped():
+    chart = ascii_chart({"a": ([0, 1, 2], [0.5, float("nan"), 0.7])})
+    assert "*" in chart  # the non-NaN points still plot
+
+
+def test_flat_curve_does_not_crash():
+    chart = ascii_chart({"a": ([0, 1, 2], [0.5, 0.5, 0.5])})
+    assert "*" in chart
+
+
+def test_scenario_charts_over_simulation_results():
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import SOCSimulation
+
+    cfg = ExperimentConfig(
+        n_nodes=25, duration=2000.0, demand_ratio=0.4, seed=4,
+        sample_period=500.0,
+    )
+    res = SOCSimulation(cfg).run()
+    text = scenario_charts({"hid-can": res})
+    assert "throughput ratio" in text
+    assert "failed task ratio" in text
+    assert "fairness index" in text

@@ -1,0 +1,58 @@
+"""Cross-seed reproducibility of the paper's headline orderings.
+
+These run micro-populations (fast) across several seeds and require the
+orderings to hold in most seed pairings — guarding against the reproduction
+resting on one lucky seed.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.multiseed import ordering_confidence, run_seeds
+
+SEEDS = [11, 22, 33]
+
+
+def replicate(protocol: str, demand_ratio: float):
+    cfg = ExperimentConfig(
+        n_nodes=100,
+        duration=7200.0,
+        demand_ratio=demand_ratio,
+        protocol=protocol,
+    )
+    return run_seeds(cfg, SEEDS)
+
+
+@pytest.fixture(scope="module")
+def hid_025():
+    return replicate("hid-can", 0.25)
+
+
+@pytest.fixture(scope="module")
+def newscast_025():
+    return replicate("newscast", 0.25)
+
+
+def test_hid_beats_newscast_on_failures_across_seeds(hid_025, newscast_025):
+    """Fig. 7(b)'s order-of-magnitude failed-task gap must hold in (almost)
+    every seed pairing, not on average only."""
+    confidence = ordering_confidence(hid_025, newscast_025, "f_ratio", "less")
+    assert confidence >= 0.85
+    # and the magnitude is large, not marginal
+    assert hid_025.metric("f_ratio").mean < newscast_025.metric("f_ratio").mean / 2
+
+
+def test_newscast_throughput_competitive_at_light_demands(hid_025, newscast_025):
+    """Fig. 7(a): Newscast's raw T-Ratio is at least comparable at λ=0.25."""
+    hid_t = hid_025.metric("t_ratio").mean
+    news_t = newscast_025.metric("t_ratio").mean
+    assert news_t > hid_t * 0.8
+
+
+def test_seed_variance_is_moderate(hid_025):
+    """The simulation is stable: seed-to-seed F-Ratio varies within a
+    small absolute band at this scale."""
+    stats = hid_025.metric("f_ratio")
+    assert stats.std < 0.1
+    lo, hi = stats.ci95()
+    assert hi - lo < 0.25

@@ -1,0 +1,166 @@
+"""Integration tests: full SOC simulations at micro scale.
+
+These exercise the complete task lifecycle — query, best-fit selection,
+placement, PSM execution, completion — for every protocol, plus churn,
+admission policies and determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.resources import dominates
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SOCSimulation
+
+MICRO = dict(n_nodes=40, duration=4000.0, demand_ratio=0.4, seed=11)
+
+
+def run(**overrides):
+    cfg = ExperimentConfig(**{**MICRO, **overrides})
+    return SOCSimulation(cfg).run()
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    ["hid-can", "sid-can", "hid-can+sos", "sid-can+vd", "newscast",
+     "khdn-can", "randomwalk-can"],
+)
+def test_every_protocol_completes_a_run(protocol):
+    res = run(protocol=protocol)
+    assert res.generated > 0
+    assert res.finished + res.failed <= res.generated
+    assert 0.0 <= res.t_ratio <= 1.0
+    assert 0.0 <= res.f_ratio <= 1.0
+    assert res.traffic_total > 0
+    assert res.per_node_msg_cost > 0
+
+
+def test_pid_can_places_and_finishes_tasks():
+    res = run(protocol="hid-can")
+    assert res.placed > 0
+    assert res.finished > 0
+    assert res.efficiencies  # finished tasks produced efficiency samples
+    assert all(e > 0 for e in res.efficiencies)
+
+
+def test_determinism_same_seed_same_result():
+    a = run(protocol="hid-can")
+    b = run(protocol="hid-can")
+    assert a.generated == b.generated
+    assert a.finished == b.finished
+    assert a.failed == b.failed
+    assert a.traffic_total == b.traffic_total
+    assert a.series["t_ratio"].values == b.series["t_ratio"].values
+
+
+def test_different_seeds_differ():
+    a = run(protocol="hid-can", seed=1)
+    b = run(protocol="hid-can", seed=2)
+    assert (
+        a.traffic_total != b.traffic_total or a.finished != b.finished
+    )
+
+
+def test_series_sampled_on_period():
+    res = run(protocol="hid-can", sample_period=1000.0)
+    assert res.series["t_ratio"].times == [1000.0, 2000.0, 3000.0, 4000.0]
+    assert len(res.series["f_ratio"]) == 4
+    assert len(res.series["fairness"]) == 4
+
+
+def test_t_plus_f_ratio_bounded():
+    res = run(protocol="hid-can")
+    for t, f in zip(res.series["t_ratio"].values, res.series["f_ratio"].values):
+        assert t + f <= 1.0 + 1e-9
+
+
+def test_strict_admission_never_oversubscribes():
+    placements = []
+
+    class Checked(SOCSimulation):
+        def _admit(self, task, target):
+            host = self.hosts[target]
+            placements.append(
+                dominates(
+                    host.executor.availability(self.sim.now), task.expectation
+                )
+            )
+            super()._admit(task, target)
+
+    cfg = ExperimentConfig(**{**MICRO, "admission": "strict"})
+    Checked(cfg).run()
+    assert placements, "no tasks placed"
+    assert all(placements)
+
+
+def test_lenient_admission_allows_contention():
+    # With admission="none" and a high demand ratio, some placements land
+    # on nodes that no longer dominate the demand — the §I contention mode.
+    violations = []
+
+    class Checked(SOCSimulation):
+        def _admit(self, task, target):
+            host = self.hosts[target]
+            violations.append(
+                not dominates(
+                    host.executor.availability(self.sim.now), task.expectation
+                )
+            )
+            super()._admit(task, target)
+
+    cfg = ExperimentConfig(
+        n_nodes=30, duration=6000.0, demand_ratio=0.8, seed=5,
+        admission="none", protocol="hid-can",
+    )
+    Checked(cfg).run()
+    assert any(violations)
+
+
+def test_local_first_executes_locally_when_possible():
+    res_local = run(protocol="hid-can", local_first=True)
+    res_remote = run(protocol="hid-can", local_first=False)
+    # local-first short-circuits queries, so query traffic shrinks
+    local_q = res_local.traffic_by_kind.get("duty-query", 0)
+    remote_q = res_remote.traffic_by_kind.get("duty-query", 0)
+    assert local_q < remote_q
+
+
+def test_churn_keeps_population_and_repairs_overlay():
+    cfg = ExperimentConfig(
+        **{**MICRO, "churn_degree": 0.4, "protocol": "hid-can"}
+    )
+    sim = SOCSimulation(cfg)
+    res = sim.run()
+    assert len(sim._alive) == cfg.n_nodes  # departures matched by joins
+    sim.protocol.overlay.check_invariants()
+    assert res.generated > 0
+    assert res.peak_population >= cfg.n_nodes
+
+
+def test_churn_kills_tasks_ablation():
+    cfg = ExperimentConfig(
+        **{**MICRO, "churn_degree": 0.5, "churn_kills_tasks": True}
+    )
+    res = SOCSimulation(cfg).run()
+    assert res.evicted > 0
+
+
+def test_gossip_cmax_mode_runs():
+    res = run(protocol="hid-can", cmax_mode="gossip")
+    assert res.traffic_by_kind.get("aggregation", 0) > 0
+    assert res.generated > 0
+
+
+def test_summary_shape():
+    res = run(protocol="hid-can")
+    summary = res.summary()
+    assert set(summary) >= {"t_ratio", "f_ratio", "fairness", "per_node_msg_cost"}
+
+
+def test_failsafe_prevents_task_leaks():
+    # Every generated task must resolve to finished/failed/placed-running.
+    res = run(protocol="hid-can")
+    resolved = res.finished + res.failed
+    still_running = res.placed - res.finished
+    assert resolved + still_running == pytest.approx(res.generated, abs=res.generated)
+    assert res.failed + res.placed >= res.generated * 0.9  # few in flight at end

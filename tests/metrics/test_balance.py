@@ -1,0 +1,75 @@
+"""Tests for placement-balance metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.balance import PlacementBalance
+
+
+def test_empty_report_is_nan():
+    report = PlacementBalance().report(population=10)
+    assert report.placements == 0
+    assert math.isnan(report.placement_fairness)
+    assert report.peak_concurrency == 0
+
+
+def test_population_validation():
+    with pytest.raises(ValueError):
+        PlacementBalance().report(0)
+
+
+def test_perfectly_balanced_placements():
+    b = PlacementBalance()
+    for node in range(10):
+        b.on_place(node)
+    report = b.report(population=10)
+    assert report.placement_fairness == pytest.approx(1.0)
+    assert report.hosts_used == 10
+    assert report.peak_concurrency == 1
+
+
+def test_single_hotspot():
+    b = PlacementBalance()
+    for _ in range(20):
+        b.on_place(0)
+    report = b.report(population=20)
+    assert report.placement_fairness == pytest.approx(1 / 20, rel=1e-3)
+    assert report.hotspot_share == pytest.approx(1.0)
+    assert report.peak_concurrency == 20
+
+
+def test_unused_hosts_penalize_fairness():
+    b = PlacementBalance()
+    for node in range(5):
+        b.on_place(node)
+    dense = b.report(population=5).placement_fairness
+    sparse = b.report(population=50).placement_fairness
+    assert sparse < dense
+
+
+def test_peak_concurrency_tracks_residency():
+    b = PlacementBalance()
+    b.on_place(1)
+    b.on_place(1)
+    b.on_remove(1)
+    b.on_place(1)  # back to 2 resident, peak stays 2
+    assert b.report(10).peak_concurrency == 2
+
+
+def test_remove_without_place_rejected():
+    b = PlacementBalance()
+    with pytest.raises(ValueError):
+        b.on_remove(3)
+
+
+def test_hotspot_share_top5pct():
+    b = PlacementBalance()
+    # 100 hosts: one host takes 50 placements, 50 hosts take 1 each
+    for _ in range(50):
+        b.on_place(0)
+    for node in range(1, 51):
+        b.on_place(node)
+    report = b.report(population=100)
+    # top 5% = 5 hosts → the hotspot plus four singles = 54/100
+    assert report.hotspot_share == pytest.approx(0.54)

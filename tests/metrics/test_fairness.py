@@ -1,0 +1,58 @@
+"""Property tests for Jain's fairness index (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fairness import jain_index
+
+efficiencies = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3), min_size=1, max_size=50
+)
+
+
+def test_equal_efficiencies_give_one():
+    assert jain_index([0.5] * 10) == pytest.approx(1.0)
+
+
+def test_single_sample_is_one():
+    assert jain_index([0.3]) == pytest.approx(1.0)
+
+
+def test_extreme_inequality_approaches_1_over_n():
+    # one active task among n: index → 1/n
+    values = [1.0] + [1e-12] * 9
+    assert jain_index(values) == pytest.approx(0.1, rel=1e-3)
+
+
+def test_empty_is_nan():
+    assert np.isnan(jain_index([]))
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        jain_index([1.0, -0.1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(efficiencies)
+def test_bounded_between_1_over_n_and_1(values):
+    phi = jain_index(values)
+    n = len(values)
+    assert 1.0 / n - 1e-9 <= phi <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(efficiencies, st.floats(min_value=0.1, max_value=100.0))
+def test_scale_invariance(values, scale):
+    a = jain_index(values)
+    b = jain_index([v * scale for v in values])
+    assert a == pytest.approx(b, rel=1e-6)
+
+
+def test_paper_usage_shape():
+    # more skewed completions → lower fairness, matching Fig. 5-7 readings
+    even = jain_index([0.5, 0.55, 0.45, 0.5])
+    skewed = jain_index([0.9, 0.1, 0.05, 0.95])
+    assert even > skewed

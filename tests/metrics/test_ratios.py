@@ -1,0 +1,36 @@
+"""Tests for the T-Ratio / F-Ratio trackers."""
+
+import pytest
+
+from repro.metrics.ratios import RatioTracker
+
+
+def test_initial_ratios_zero():
+    r = RatioTracker()
+    assert r.t_ratio() == 0.0
+    assert r.f_ratio() == 0.0
+    r.check()
+
+
+def test_ratios_track_counts():
+    r = RatioTracker()
+    for _ in range(10):
+        r.on_generated()
+    for _ in range(4):
+        r.on_finished()
+    for _ in range(3):
+        r.on_failed()
+    r.on_placed()
+    r.on_evicted()
+    assert r.t_ratio() == pytest.approx(0.4)
+    assert r.f_ratio() == pytest.approx(0.3)
+    r.check()
+
+
+def test_check_catches_overcounting():
+    r = RatioTracker()
+    r.on_generated()
+    r.on_finished()
+    r.on_failed()  # finished + failed > generated
+    with pytest.raises(AssertionError):
+        r.check()

@@ -1,0 +1,38 @@
+"""Tests for message-cost accounting."""
+
+import pytest
+
+from repro.metrics.traffic import TrafficMeter
+
+
+def test_charge_accumulates_by_kind_and_node():
+    m = TrafficMeter()
+    m.charge("state-update", 1)
+    m.charge("state-update", 1)
+    m.charge("duty-query", 2, n=3)
+    assert m.by_kind == {"state-update": 2, "duty-query": 3}
+    assert m.by_node[1] == 2
+    assert m.by_node[2] == 3
+    assert m.total() == 5
+
+
+def test_negative_charge_rejected():
+    m = TrafficMeter()
+    with pytest.raises(ValueError):
+        m.charge("x", 0, n=-1)
+
+
+def test_per_node_cost():
+    m = TrafficMeter()
+    for node in range(4):
+        m.charge("gossip", node, n=10)
+    assert m.per_node_cost(4) == 10.0
+    with pytest.raises(ValueError):
+        m.per_node_cost(0)
+
+
+def test_kind_snapshot_sorted():
+    m = TrafficMeter()
+    m.charge("zz", 0)
+    m.charge("aa", 0)
+    assert list(m.kind_snapshot()) == ["aa", "zz"]

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(3.0, out.append, "mid")
+    sim.run()
+    assert out == ["early", "mid", "late"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(1.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_priority_breaks_same_time_ties():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "low", priority=PRIORITY_LOW)
+    sim.schedule(1.0, out.append, "high", priority=PRIORITY_HIGH)
+    sim.run()
+    assert out == ["high", "low"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(10.0, out.append, "b")
+    sim.run(until=5.0)
+    assert out == ["a"]
+    assert sim.now == 5.0  # clock lands exactly on `until`
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_cancellation_skips_event():
+    sim = Simulator()
+    out = []
+    handle = sim.schedule(1.0, out.append, "cancelled")
+    sim.schedule(2.0, out.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert out == ["kept"]
+
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    h1.cancel()
+    assert sim.pending() == 1
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_events_scheduled_from_callbacks_run():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(1.0, out.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert out == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_periodic_fires_on_schedule():
+    sim = Simulator()
+    times = []
+    sim.periodic(10.0, lambda: times.append(sim.now))
+    sim.run(until=35.0)
+    assert times == [10.0, 20.0, 30.0]
+
+
+def test_periodic_first_at_override():
+    sim = Simulator()
+    times = []
+    sim.periodic(10.0, lambda: times.append(sim.now), first_at=3.0)
+    sim.run(until=25.0)
+    assert times == [3.0, 13.0, 23.0]
+
+
+def test_periodic_cancel_stops_rearming():
+    sim = Simulator()
+    times = []
+    handle = sim.periodic(10.0, lambda: times.append(sim.now))
+
+    sim.schedule(25.0, handle.cancel)
+    sim.run(until=100.0)
+    assert times == [10.0, 20.0]
+
+
+def test_periodic_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.periodic(0.0, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, out.append, "b")
+    sim.run()
+    assert out == ["a"]
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    out = []
+    for i in range(5):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=2)
+    assert out == [0, 1]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,52 @@
+"""Unit tests for counters and time series."""
+
+import pytest
+
+from repro.sim.stats import Counter, TimeSeries
+
+
+def test_counter_accumulates():
+    c = Counter()
+    c.add("a")
+    c.add("a", 2.5)
+    c.add("b")
+    assert c.get("a") == 3.5
+    assert c.get("b") == 1.0
+    assert c.get("missing") == 0.0
+    assert c.total() == 4.5
+
+
+def test_counter_snapshot_sorted():
+    c = Counter()
+    c.add("zeta")
+    c.add("alpha")
+    assert list(c.snapshot()) == ["alpha", "zeta"]
+
+
+def test_timeseries_append_and_iter():
+    ts = TimeSeries("x")
+    ts.append(0.0, 1.0)
+    ts.append(1.0, 2.0)
+    assert len(ts) == 2
+    assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+    assert ts.last() == 2.0
+
+
+def test_timeseries_rejects_time_regression():
+    ts = TimeSeries()
+    ts.append(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.append(4.0, 2.0)
+
+
+def test_timeseries_last_empty_raises():
+    with pytest.raises(IndexError):
+        TimeSeries().last()
+
+
+def test_timeseries_as_dict_copies():
+    ts = TimeSeries()
+    ts.append(1.0, 2.0)
+    d = ts.as_dict()
+    d["times"].append(99.0)
+    assert ts.times == [1.0]

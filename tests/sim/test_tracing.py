@@ -1,0 +1,103 @@
+"""Tests for task-lifecycle tracing, including full-run trace validation."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SOCSimulation
+from repro.sim.tracing import Tracer
+
+
+def test_emit_and_views():
+    tr = Tracer()
+    tr.emit(1.0, "generated", 7, node=3)
+    tr.emit(2.0, "query-ok", 7, candidates=2)
+    tr.emit(1.5, "generated", 8)
+    assert len(tr) == 3
+    assert [e.kind for e in tr.for_task(7)] == ["generated", "query-ok"]
+    assert len(tr.by_kind("generated")) == 2
+    assert tr.task_ids() == [7, 8]
+
+
+def test_unknown_kind_rejected():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.emit(0.0, "teleported", 1)
+
+
+def test_disabled_tracer_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.emit(0.0, "generated", 1)
+    assert len(tr) == 0
+
+
+def test_timeline_readable():
+    tr = Tracer()
+    tr.emit(10.0, "generated", 1, node=2)
+    tr.emit(20.0, "query-ok", 1, candidates=3)
+    lines = tr.timeline(1)
+    assert "generated" in lines[0] and "@node 2" in lines[0]
+    assert "candidates" in lines[1]
+
+
+def test_terminal_kind():
+    tr = Tracer()
+    tr.emit(0.0, "generated", 1)
+    assert tr.terminal_kind(1) is None
+    tr.emit(1.0, "query-ok", 1)
+    tr.emit(2.0, "admitted", 1)
+    tr.emit(3.0, "completed", 1)
+    assert tr.terminal_kind(1) == "completed"
+
+
+def test_validate_catches_admission_without_query():
+    tr = Tracer()
+    tr.emit(0.0, "generated", 1)
+    tr.emit(1.0, "admitted", 1)
+    with pytest.raises(AssertionError, match="without query-ok"):
+        tr.validate()
+
+
+def test_validate_catches_missing_generation():
+    tr = Tracer()
+    tr.emit(0.0, "query-ok", 1)
+    with pytest.raises(AssertionError, match="starts with"):
+        tr.validate()
+
+
+# ----------------------------------------------------------------------
+# full-run validation: every task's trace is causally consistent
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["hid-can", "newscast"])
+def test_full_run_traces_are_consistent(protocol):
+    cfg = ExperimentConfig(
+        n_nodes=40, duration=5000.0, demand_ratio=0.4, seed=17,
+        protocol=protocol, trace_tasks=True,
+    )
+    sim = SOCSimulation(cfg)
+    res = sim.run()
+    sim.tracer.validate()
+    assert len(sim.tracer.by_kind("generated")) == res.generated
+    assert len(sim.tracer.by_kind("completed")) == res.finished
+    failures = len(sim.tracer.by_kind("query-failed")) + len(
+        sim.tracer.by_kind("rejected")
+    )
+    assert failures == res.failed
+
+
+def test_full_run_traces_with_checkpointed_churn():
+    cfg = ExperimentConfig(
+        n_nodes=40, duration=5000.0, demand_ratio=0.4, seed=18,
+        churn_degree=0.5, churn_kills_tasks=True, checkpoint_enabled=True,
+        trace_tasks=True,
+    )
+    sim = SOCSimulation(cfg)
+    res = sim.run()
+    sim.tracer.validate()
+    assert len(sim.tracer.by_kind("recovered")) == res.recovered
+
+
+def test_tracing_disabled_by_default():
+    cfg = ExperimentConfig(n_nodes=25, duration=1500.0, seed=3)
+    sim = SOCSimulation(cfg)
+    sim.run()
+    assert len(sim.tracer) == 0
