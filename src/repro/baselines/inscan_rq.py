@@ -78,7 +78,7 @@ class INSCANRangeQuery:
             nxt: list[int] = []
             for node in frontier:
                 cache = self.caches.get(node)
-                if cache is not None:
+                if cache is not None and len(cache):
                     records.extend(cache.qualified(demand, now))
                 for m in sorted(self.overlay.nodes[node].neighbors):
                     if m in seen:

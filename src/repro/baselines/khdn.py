@@ -191,7 +191,8 @@ class KHDNProtocol(DiscoveryProtocol):
         messages: int,
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
-        if not probes or len({r.owner for r in found}) >= self.params.delta:
+        # one record per owner in ``found`` (owner-keyed caches + exclusion)
+        if not probes or len(found) >= self.params.delta:
             callback(found, messages)
             return
         nxt = probes.pop(0)
@@ -210,8 +211,8 @@ class KHDNProtocol(DiscoveryProtocol):
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
         cache = self.caches.get(me)
-        if cache is not None:
-            need = self.params.delta - len({r.owner for r in found})
+        if cache is not None and len(cache):
+            need = self.params.delta - len(found)
             if need > 0:
                 found.extend(
                     cache.qualified(

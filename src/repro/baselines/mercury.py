@@ -243,8 +243,10 @@ class MercuryProtocol(DiscoveryProtocol):
         hub = self.hubs[hub_idx]
         if self.ctx.is_alive(node_id):
             cache = self.caches.get(node_id)
-            if cache is not None:
-                need = self.params.delta - len({r.owner for r in found})
+            if cache is not None and len(cache):
+                # one record per owner in ``found`` (owner-keyed caches +
+                # exclusion on every scan)
+                need = self.params.delta - len(found)
                 if need > 0:
                     found.extend(
                         cache.qualified(
@@ -252,7 +254,7 @@ class MercuryProtocol(DiscoveryProtocol):
                             exclude={r.owner for r in found},
                         )
                     )
-        if budget <= 0 or len({r.owner for r in found}) >= self.params.delta:
+        if budget <= 0 or len(found) >= self.params.delta:
             callback(found, messages)
             return
         nxt = hub.successor_no_wrap(node_id) if node_id in hub else None

@@ -127,8 +127,10 @@ class RandomWalkProtocol(DiscoveryProtocol):
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
         cache = self.caches.get(me)
-        if cache is not None:
-            need = self.params.delta - len({r.owner for r in found})
+        if cache is not None and len(cache):
+            # ``found`` holds one record per owner (each cache is owner-keyed
+            # and every scan excludes the owners already found).
+            need = self.params.delta - len(found)
             if need > 0:
                 found.extend(
                     cache.qualified(
@@ -136,7 +138,7 @@ class RandomWalkProtocol(DiscoveryProtocol):
                         exclude={r.owner for r in found},
                     )
                 )
-        if hops_left <= 0 or len({r.owner for r in found}) >= self.params.delta:
+        if hops_left <= 0 or len(found) >= self.params.delta:
             callback(found, messages)
             return
         candidates: list[int] = []

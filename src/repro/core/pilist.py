@@ -21,9 +21,18 @@ class PIList:
         self.ttl = float(ttl)
         self.max_size = int(max_size)
         self._added_at: dict[int, float] = {}
+        #: Latest simulation time this list has observed; ``__len__`` and
+        #: ``__contains__`` expire against it so they agree with the most
+        #: recent ``entries()``/``sample()`` view (sim time is monotonic).
+        self._clock = 0.0
+
+    def _observe(self, now: float) -> None:
+        if now > self._clock:
+            self._clock = now
 
     def add(self, node_id: int, now: float) -> None:
         """Insert or refresh an index; evict the stalest when full."""
+        self._observe(now)
         self._added_at[node_id] = now
         if len(self._added_at) > self.max_size:
             oldest = min(self._added_at, key=lambda k: (self._added_at[k], k))
@@ -33,6 +42,7 @@ class PIList:
         self._added_at.pop(node_id, None)
 
     def purge(self, now: float) -> None:
+        self._observe(now)
         cutoff = now - self.ttl
         stale = [k for k, t in self._added_at.items() if t < cutoff]
         for k in stale:
@@ -52,7 +62,11 @@ class PIList:
         return [pool[i] for i in picked]
 
     def __len__(self) -> int:
+        """Live entry count as of the latest observed time (stale entries
+        are not reported, matching ``entries()``/``sample()``)."""
+        self.purge(self._clock)
         return len(self._added_at)
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._added_at
+        added = self._added_at.get(node_id)
+        return added is not None and added >= self._clock - self.ttl

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
 from repro.core.diffusion import DiffusionEngine
 from repro.core.pilist import PIList
-from repro.core.query import QueryEngine, QueryParams
+from repro.core.query import QueryEngine, QueryParams, submit_batch
 from repro.core.state import StateCache, StateRecord
 
 __all__ = [
@@ -68,6 +68,21 @@ class DiscoveryProtocol(abc.ABC):
     ) -> None:
         """Find up to δ nodes whose availability dominates ``demand``; call
         ``callback(records, n_messages)`` exactly once."""
+
+    def submit_many(
+        self,
+        demands: Sequence[np.ndarray],
+        requester: int,
+        callback: Callable[[list[tuple[list[StateRecord], int]]], None],
+    ) -> None:
+        """Submit a burst of queries; ``callback(results)`` fires exactly
+        once after all of them finalize, ``results[i] = (records,
+        messages)`` in submission order.  Protocols may override with a
+        natively batched path; this default fans out to
+        :meth:`submit_query`."""
+        submit_batch(
+            lambda d, cb: self.submit_query(d, requester, cb), demands, callback
+        )
 
 
 @dataclass(frozen=True, slots=True)

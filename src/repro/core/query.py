@@ -19,12 +19,34 @@ query-end message or a timeout (needed under churn, where a chain can die
 with a relaying node).  With Slack-on-Submission the first attempt runs on
 the slacked vector e′ and a failed attempt retries once with the original
 ``e`` — the paper's "twice resource query overhead".
+
+Message accounting convention
+-----------------------------
+``QueryRuntime.messages`` (reported to the requester callback and feeding
+the Fig. 6/7 per-query cost metrics) counts **every inter-node send of the
+query chain exactly once**, mirroring the TrafficMeter charges for the
+chain's message kinds:
+
+- ``duty-query``   — one per forwarded hop of the INSCAN route
+  (``len(path) - 1``; zero when the requester is its own duty node);
+- ``index-agent``  — one per agent handoff (including the duty node's
+  first pick);
+- ``index-jump``   — one per jump-list hop;
+- ``found-notify`` — one per ϕ notification back to the requester;
+- ``query-end``    — one per explicit termination notice.
+
+*Not* counted: the requester's local submission (no message is sent), the
+duty node acting as its own index agent (a local call), and retransmission
+does not exist in the model.  Messages dropped at a churned-out destination
+are still counted — the send happened and the TrafficMeter charged it; a
+SoS retry re-runs the chain and keeps accumulating into the same counter
+(the paper's "twice resource query overhead").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +59,40 @@ from repro.core.sos import slack_expectation
 from repro.core.state import StateCache, StateRecord
 from repro.sim.engine import EventHandle
 
-__all__ = ["QueryEngine", "QueryRuntime", "QueryParams"]
+__all__ = ["QueryEngine", "QueryRuntime", "QueryParams", "submit_batch"]
+
+
+def submit_batch(
+    submit: Callable[[np.ndarray, Callable[[list["StateRecord"], int], None]], object],
+    demands: Sequence[np.ndarray],
+    callback: Callable[[list[tuple[list["StateRecord"], int]]], None],
+) -> list:
+    """Shared fan-out/fan-in for batched query submission.
+
+    Calls ``submit(demand, one_query_callback)`` once per demand;
+    ``callback(results)`` fires exactly once after every query finalizes,
+    with ``results[i] = (records, messages)`` in submission order.  Returns
+    whatever each ``submit`` returned (qids for the engine, ``None`` for
+    protocols).  Used by :meth:`QueryEngine.submit_many` and the
+    ``DiscoveryProtocol.submit_many`` default — keep the aggregation in one
+    place."""
+    batch = [np.asarray(d, dtype=np.float64) for d in demands]
+    if not batch:
+        callback([])
+        return []
+    results: list[Optional[tuple[list[StateRecord], int]]] = [None] * len(batch)
+    pending = {"n": len(batch)}
+
+    def one_done(i: int, records: list[StateRecord], messages: int) -> None:
+        results[i] = (records, messages)
+        pending["n"] -= 1
+        if pending["n"] == 0:
+            callback(results)  # type: ignore[arg-type]
+
+    return [
+        submit(d, lambda r, m, _i=i: one_done(_i, r, m))
+        for i, d in enumerate(batch)
+    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +181,22 @@ class QueryEngine:
         self._launch(rt)
         return rt.qid
 
+    def submit_many(
+        self,
+        demands: Sequence[np.ndarray],
+        requester: int,
+        callback: Callable[[list[tuple[list[StateRecord], int]]], None],
+    ) -> list[int]:
+        """Submit one query per demand vector as a single burst.
+
+        ``callback(results)`` fires exactly once after every query in the
+        batch has finalized, with ``results[i] = (records, messages)`` for
+        ``demands[i]`` in submission order.  Returns the per-query qids.
+        """
+        return submit_batch(
+            lambda d, cb: self.submit(d, requester, cb), demands, callback
+        )
+
     def active_queries(self) -> int:
         return len(self._active)
 
@@ -173,7 +244,7 @@ class QueryEngine:
                     delta -= len(phi)
                     found_owners.update(r.owner for r in phi)
         if delta <= 0:
-            self.ctx.send("query-end", duty, rt.requester, self._on_end, qid)
+            self._send_end(duty, rt)
             return
 
         # Algorithm 3 lines 5-7: one random positive neighbor per dimension.
@@ -192,6 +263,7 @@ class QueryEngine:
             self._on_agent(qid, duty, delta, [], found_owners, 1)
             return
         alpha = agents.pop(int(self.ctx.rng.integers(len(agents))))
+        rt.messages += 1
         self.ctx.send(
             "index-agent", duty, alpha,
             self._on_agent, qid, alpha, delta, agents, found_owners, 1,
@@ -213,7 +285,7 @@ class QueryEngine:
         if rt is None or rt.finalized:
             return
         if hops > self.params.max_chain_hops:
-            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            self._send_end(me, rt)
             return
         pilist = self.pilists.get(me)
         jumps = (
@@ -252,7 +324,7 @@ class QueryEngine:
                 self._on_agent, qid, alpha, delta, agents, found_owners, hops + 1,
             )
         else:
-            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            self._send_end(me, rt)
 
     # ------------------------------------------------------------------
     # phase 3: index-jump handler (Algorithm 5)
@@ -271,7 +343,7 @@ class QueryEngine:
         if rt is None or rt.finalized:
             return
         if hops > self.params.max_chain_hops:
-            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            self._send_end(me, rt)
             return
         now = self.ctx.sim.now
         cache = self.caches.get(me)
@@ -283,7 +355,7 @@ class QueryEngine:
                 delta -= len(phi)
                 found_owners = found_owners | {r.owner for r in phi}
         if delta <= 0:
-            self.ctx.send("query-end", me, rt.requester, self._on_end, qid)
+            self._send_end(me, rt)
             return
         jumps = [j for j in jumps if j not in found_owners]
         if jumps:
@@ -305,6 +377,12 @@ class QueryEngine:
         self.ctx.send(
             "found-notify", src, rt.requester, self._on_found, rt.qid, list(phi)
         )
+
+    def _send_end(self, src: int, rt: QueryRuntime) -> None:
+        """Explicit termination notice back to the requester (counted like
+        every other inter-node send of the chain)."""
+        rt.messages += 1
+        self.ctx.send("query-end", src, rt.requester, self._on_end, rt.qid)
 
     def _on_found(self, qid: int, phi: list[StateRecord]) -> None:
         rt = self._active.get(qid)

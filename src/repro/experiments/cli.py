@@ -46,13 +46,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render ASCII line charts of the series (mirrors the figures)",
     )
+    parser.add_argument(
+        "--burst-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="arrival-rate multiplier for the burst scenario (default: 8)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.burst_factor is not None and args.scenario != "burst":
+        print("--burst-factor only applies to the burst scenario", file=sys.stderr)
+        return 2
+    if args.burst_factor is not None and args.burst_factor < 1.0:
+        print("--burst-factor must be >= 1", file=sys.stderr)
+        return 2
+    extra = (
+        {"burst_factor": args.burst_factor} if args.burst_factor is not None else {}
+    )
     started = time.perf_counter()
-    results = run_scenario(args.scenario, scale=args.scale, seed=args.seed)
+    results = run_scenario(args.scenario, scale=args.scale, seed=args.seed, **extra)
     if args.chart and args.scenario != "table3":
         from repro.experiments.plots import scenario_charts
 

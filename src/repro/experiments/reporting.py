@@ -11,7 +11,13 @@ from typing import Mapping
 
 from repro.experiments.runner import SimulationResult
 
-__all__ = ["series_table", "summary_table", "scalability_table", "render_scenario"]
+__all__ = [
+    "series_table",
+    "summary_table",
+    "scalability_table",
+    "latency_table",
+    "render_scenario",
+]
 
 
 def _fmt(value: float, width: int = 9) -> str:
@@ -89,6 +95,37 @@ def scalability_table(results: Mapping[str, SimulationResult]) -> str:
     return "\n".join(lines)
 
 
+def latency_table(results: Mapping[str, SimulationResult], title: str = "") -> str:
+    """Per-query delay distribution and message cost per protocol — the
+    headline metrics of the high-throughput burst scenario."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        "protocol".ljust(16)
+        + "queries".rjust(9)
+        + "mean s".rjust(9)
+        + "p50 s".rjust(9)
+        + "p95 s".rjust(9)
+        + "max s".rjust(9)
+        + "msgs/q".rjust(9)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, res in results.items():
+        rep = res.query_latency
+        lines.append(
+            label.ljust(16)
+            + f"{rep.queries:9d}"
+            + _fmt(rep.mean_s)
+            + _fmt(rep.p50_s)
+            + _fmt(rep.p95_s)
+            + _fmt(rep.max_s)
+            + _fmt(rep.mean_messages)
+        )
+    return "\n".join(lines)
+
+
 def render_scenario(name: str, results: Mapping[str, SimulationResult]) -> str:
     """Render a scenario the way the paper presents it."""
     if name == "table3":
@@ -104,4 +141,6 @@ def render_scenario(name: str, results: Mapping[str, SimulationResult]) -> str:
         ):
             blocks.append(series_table(results, metric, f"{name}: {label}"))
     blocks.append(summary_table(results, f"{name}: end-of-run summary"))
+    if name == "burst":
+        blocks.append(latency_table(results, "burst: query delay / message cost"))
     return "\n\n".join(blocks)

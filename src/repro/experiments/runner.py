@@ -168,7 +168,7 @@ class SOCSimulation:
             config.mean_nominal_time,
         )
         self.workload = PoissonWorkload(
-            self.factory, self.rngs.stream("arrivals"), config.mean_interarrival
+            self.factory, self.rngs.stream("arrivals"), config.effective_interarrival
         )
         for node_id in sorted(self._alive):
             self.workload.start_node(node_id, self.sim, self._submit_task, self.is_alive)

@@ -20,6 +20,7 @@ __all__ = [
     "SCENARIOS",
     "FIG4_PROTOCOLS",
     "FIG567_PROTOCOLS",
+    "BURST_PROTOCOLS",
     "CHURN_DEGREES",
     "scalability_populations",
 ]
@@ -39,6 +40,11 @@ FIG567_PROTOCOLS = (
 
 #: Fig. 8 dynamic degrees (fraction of nodes churning per 3000 s lifetime).
 CHURN_DEGREES = (0.0, 0.25, 0.50, 0.75, 0.95)
+
+#: The burst (high-throughput) scenario compares the main diffusion
+#: variants against the replication and unstructured families under a
+#: many-concurrent-queries regime.
+BURST_PROTOCOLS = ("hid-can", "sid-can", "khdn-can", "newscast")
 
 
 def scalability_populations(scale: str) -> list[int]:
@@ -113,6 +119,22 @@ def fig8(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     return out
 
 
+def burst(
+    scale: str = "small", seed: int = 42, burst_factor: float = 8.0
+) -> dict[str, SimulationResult]:
+    """High-throughput stress: every node submits ``burst_factor`` times
+    more often than the Table II regime (λ=0.5), so many query chains are
+    in flight concurrently and duty-node caches are scanned at production
+    rates.  Not a paper figure — a scale scenario for the vectorized
+    cache and the query engine's concurrency behaviour."""
+    return {
+        p: run_protocol(
+            p, scale, demand_ratio=0.5, seed=seed, burst_factor=burst_factor
+        )
+        for p in BURST_PROTOCOLS
+    }
+
+
 def table3(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     """HID-CAN scalability sweep (λ=0.5): four metrics vs population."""
     _, duration = SCALES[scale]
@@ -133,18 +155,20 @@ SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "fig6": fig6,
     "fig7": fig7,
     "fig8": fig8,
+    "burst": burst,
     "table3": table3,
 }
 
 
 def run_scenario(
-    name: str, scale: str = "small", seed: int = 42
+    name: str, scale: str = "small", seed: int = 42, **kwargs: Any
 ) -> dict[str, SimulationResult]:
-    """Dispatch a scenario by its paper figure/table id."""
+    """Dispatch a scenario by its paper figure/table id (extra keyword
+    arguments are forwarded to the builder, e.g. ``burst_factor``)."""
     try:
         builder = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
         ) from None
-    return builder(scale=scale, seed=seed)
+    return builder(scale=scale, seed=seed, **kwargs)

@@ -120,10 +120,10 @@ class Simulator:
         """Run ``fn(*args)`` every ``interval`` seconds, starting at
         ``first_at`` (defaults to ``now + interval``).
 
-        Cancelling the returned handle stops the *current* pending firing,
-        but the timer re-arms from inside its own callback, so to stop a
-        periodic task permanently use the handle returned here — it is
-        rebound internally; cancellation is honoured across re-arms.
+        The returned handle is rebound internally on every re-arm, so
+        cancelling it stops the periodic task permanently — including when
+        ``cancel()`` is called from inside ``fn`` itself (the cancellation
+        is checked before the timer re-arms).
         """
         if interval <= 0:
             raise SimulationError(f"non-positive interval {interval!r}")
@@ -135,6 +135,11 @@ class Simulator:
 
         def tick() -> None:
             fn(*args)
+            # ``fn`` may have cancelled the handle (whose event is the one
+            # firing right now); re-arming would silently resurrect the
+            # timer by rebinding the handle to a fresh, uncancelled event.
+            if handle_box and handle_box[0]._event.cancelled:
+                return
             nxt = self.schedule(interval, tick, priority=priority)
             if handle_box:
                 handle_box[0]._event = nxt._event

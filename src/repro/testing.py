@@ -25,7 +25,58 @@ from repro.metrics.traffic import TrafficMeter
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkModel, NetworkParams
 
-__all__ = ["ProtocolSandbox"]
+__all__ = ["ProtocolSandbox", "ReferenceStateCache"]
+
+
+class ReferenceStateCache:
+    """The original scalar dict-of-records implementation of the duty-node
+    cache γ, kept verbatim as the behavioural oracle for the vectorized
+    :class:`~repro.core.state.StateCache` (equivalence tests and the
+    old-vs-new microbenchmark compare against it)."""
+
+    def __init__(self, ttl: float):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self._records: dict[int, StateRecord] = {}
+
+    def put(self, record: StateRecord) -> None:
+        existing = self._records.get(record.owner)
+        if existing is None or existing.timestamp <= record.timestamp:
+            self._records[record.owner] = record
+
+    def evict_owner(self, owner: int) -> None:
+        self._records.pop(owner, None)
+
+    def purge(self, now: float) -> None:
+        cutoff = now - self.ttl
+        stale = [o for o, r in self._records.items() if r.timestamp < cutoff]
+        for o in stale:
+            del self._records[o]
+
+    def non_empty(self, now: float) -> bool:
+        self.purge(now)
+        return bool(self._records)
+
+    def records(self, now: float) -> list[StateRecord]:
+        self.purge(now)
+        return list(self._records.values())
+
+    def qualified(self, demand, now, limit=None, exclude=None) -> list[StateRecord]:
+        self.purge(now)
+        skip = set(exclude) if exclude is not None else ()
+        out: list[StateRecord] = []
+        for rec in self._records.values():
+            if rec.owner in skip:
+                continue
+            if rec.qualifies(demand):
+                out.append(rec)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)
 
 
 class ProtocolSandbox:

@@ -1,0 +1,150 @@
+"""Message accounting of the query chain and the batched submission API.
+
+The accounting convention (see ``repro.core.query``): ``rt.messages``
+counts every inter-node send of a query chain exactly once — duty-query
+route hops, index-agent handoffs, index-jump hops, found-notify and
+query-end — mirroring the TrafficMeter charges for those kinds.
+"""
+
+import numpy as np
+
+from repro.core.query import QueryEngine, QueryParams
+from tests.core.helpers import Harness
+
+CHAIN_KINDS = (
+    "duty-query", "index-agent", "index-jump", "found-notify", "query-end",
+)
+
+
+def make_engine(h: Harness, **overrides) -> QueryEngine:
+    return QueryEngine(
+        h.ctx, h.overlay, h.tables, h.caches, h.pilists, QueryParams(**overrides)
+    )
+
+
+def chain_traffic(h: Harness) -> int:
+    kinds = h.traffic.kind_snapshot()
+    return sum(kinds.get(k, 0) for k in CHAIN_KINDS)
+
+
+def run_query(h, engine, demand, requester=0):
+    out = {}
+    engine.submit(
+        np.asarray(demand, float), requester,
+        lambda r, m: out.update(records=r, messages=m),
+    )
+    h.sim.run(until=600.0)
+    assert "records" in out
+    return out["records"], out["messages"]
+
+
+def test_three_phase_walk_counts_every_send_once():
+    """Deterministic duty → agent → jump → notify → end chain: the callback
+    message count equals the traffic meter's chain charges exactly."""
+    h = Harness(n=32, dims=2, seed=3)
+    engine = make_engine(h, check_duty_cache=False, delta=1)
+    demand = np.array([0.3, 0.3])
+    duty = h.duty_of(demand)
+    holder = next(
+        n.node_id
+        for n in h.overlay.nodes.values()
+        if np.all(n.zone.lo >= h.overlay.nodes[duty].zone.hi - 1e-12)
+    )
+    h.plant_record(holder, owner=77, availability=[0.9, 0.9])
+    for dim in range(2):
+        for agent in h.overlay.directional_neighbors(duty, dim, +1):
+            h.pilists[agent].add(holder, now=0.0)
+
+    records, messages = run_query(h, engine, demand)
+    assert [r.owner for r in records] == [77]
+
+    kinds = h.traffic.kind_snapshot()
+    # all three phases actually ran, then found-notify and query-end
+    assert kinds.get("index-agent", 0) >= 1
+    assert kinds.get("index-jump", 0) >= 1
+    assert kinds.get("found-notify", 0) == 1
+    assert kinds.get("query-end", 0) == 1
+    assert messages == chain_traffic(h)
+
+
+def test_duty_cache_hit_chain_is_fully_counted():
+    """Regression for the uncounted first index-agent send: even the
+    shortest successful chain must match the meter exactly."""
+    h = Harness(n=32, dims=2, seed=1)
+    engine = make_engine(h, delta=1)
+    demand = np.array([0.3, 0.3])
+    duty = h.duty_of(demand)
+    h.plant_record(duty, owner=99, availability=[0.35, 0.35])
+    records, messages = run_query(h, engine, demand)
+    assert [r.owner for r in records] == [99]
+    assert messages == chain_traffic(h)
+
+
+def test_failed_query_chain_is_fully_counted():
+    """An empty system still routes, walks agents and ends explicitly."""
+    h = Harness(n=64, dims=2, seed=8)
+    engine = make_engine(h)
+    records, messages = run_query(h, engine, [0.3, 0.3])
+    assert records == []
+    assert messages == chain_traffic(h)
+    assert h.traffic.kind_snapshot().get("query-end", 0) == 1
+
+
+def test_first_index_agent_send_is_counted():
+    """The duty node's very first agent handoff (the historic undercount)
+    shows up in the callback count."""
+    h = Harness(n=32, dims=2, seed=6)
+    engine = make_engine(h, check_duty_cache=False)
+    run_query(h, engine, [0.3, 0.3])
+    kinds = h.traffic.kind_snapshot()
+    assert kinds.get("index-agent", 0) >= 1  # at least the first handoff
+
+
+# ----------------------------------------------------------------------
+# batched submission
+# ----------------------------------------------------------------------
+def test_submit_many_fires_once_with_ordered_results():
+    h = Harness(n=32, dims=2, seed=4)
+    engine = make_engine(h)
+    d1 = np.array([0.2, 0.2])
+    d2 = np.array([0.6, 0.6])
+    h.plant_record(h.duty_of(d1), owner=101, availability=[0.25, 0.25])
+    h.plant_record(h.duty_of(d2), owner=202, availability=[0.7, 0.7])
+    calls = []
+    qids = engine.submit_many([d1, d2], 0, calls.append)
+    assert len(qids) == 2
+    h.sim.run(until=600.0)
+    assert len(calls) == 1
+    results = calls[0]
+    assert len(results) == 2
+    owners_0 = {r.owner for r in results[0][0]}
+    owners_1 = {r.owner for r in results[1][0]}
+    assert 101 in owners_0 and 202 not in owners_0
+    assert 202 in owners_1 and 101 not in owners_1
+    assert all(messages >= 0 for _, messages in results)
+
+
+def test_submit_many_empty_batch_completes_immediately():
+    h = Harness(n=16, dims=2, seed=5)
+    engine = make_engine(h)
+    calls = []
+    assert engine.submit_many([], 0, calls.append) == []
+    assert calls == [[]]
+
+
+def test_protocol_submit_many_default_fans_out():
+    """Baselines inherit the DiscoveryProtocol default, which batches over
+    plain submit_query (RandomWalkProtocol does not override it)."""
+    from repro.baselines.randomwalk import RandomWalkProtocol
+    from repro.core.protocol import PIDCANParams
+
+    h = Harness(n=32, dims=2, seed=9)
+    protocol = RandomWalkProtocol(h.ctx, PIDCANParams(resource_dims=2))
+    protocol.bootstrap(sorted(h.overlay.node_ids()))
+    calls = []
+    demands = [np.array([0.4, 0.4]), np.array([0.5, 0.5]), np.array([0.3, 0.3])]
+    protocol.submit_many(demands, 0, calls.append)
+    h.sim.run(until=600.0)
+    assert len(calls) == 1
+    assert len(calls[0]) == 3
+    assert all(isinstance(m, int) and m >= 0 for _, m in calls[0])

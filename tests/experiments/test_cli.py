@@ -25,6 +25,41 @@ def test_parser_rejects_unknown_scale():
         parser.parse_args(["fig5", "--scale", "galactic"])
 
 
+def test_parser_accepts_burst_scenario_and_factor():
+    parser = cli.build_parser()
+    args = parser.parse_args(["burst", "--scale", "tiny", "--burst-factor", "4"])
+    assert args.scenario == "burst"
+    assert args.burst_factor == 4.0
+
+
+def test_burst_factor_rejected_for_other_scenarios(capsys):
+    rc = cli.main(["fig5", "--burst-factor", "4"])
+    assert rc == 2
+    assert "burst" in capsys.readouterr().err
+
+
+def test_main_forwards_burst_factor(monkeypatch, capsys):
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import SOCSimulation
+
+    seen = {}
+
+    def stub_run_scenario(name, scale, seed, **kwargs):
+        seen.update(name=name, **kwargs)
+        cfg = ExperimentConfig(
+            n_nodes=25, duration=2000.0, demand_ratio=0.4, seed=seed,
+            sample_period=1000.0,
+        )
+        return {"hid-can": SOCSimulation(cfg).run()}
+
+    monkeypatch.setattr("repro.experiments.cli.run_scenario", stub_run_scenario)
+    rc = cli.main(["burst", "--scale", "tiny", "--burst-factor", "3"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert seen == {"name": "burst", "burst_factor": 3.0}
+    assert "query delay" in captured.out  # burst renders the latency table
+
+
 def test_main_renders_scenario(monkeypatch, capsys):
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import SOCSimulation

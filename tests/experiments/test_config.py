@@ -55,3 +55,18 @@ def test_env_scale(monkeypatch):
     monkeypatch.setenv("REPRO_SCALE", "galactic")
     with pytest.raises(ValueError):
         env_scale()
+
+
+def test_burst_factor_scales_effective_interarrival():
+    cfg = ExperimentConfig(mean_interarrival=3000.0, burst_factor=8.0)
+    assert cfg.effective_interarrival == pytest.approx(375.0)
+    assert ExperimentConfig().effective_interarrival == pytest.approx(3000.0)
+    assert "burst=8x" in cfg.describe()
+    assert "burst" not in ExperimentConfig().describe()
+
+
+def test_burst_factor_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(burst_factor=0.5)
+    with pytest.raises(ValueError):
+        ExperimentConfig(mean_interarrival=0.0)

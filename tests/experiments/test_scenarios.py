@@ -11,6 +11,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import SOCSimulation
 from repro.experiments.scenarios import (
+    BURST_PROTOCOLS,
     CHURN_DEGREES,
     FIG4_PROTOCOLS,
     FIG567_PROTOCOLS,
@@ -23,7 +24,7 @@ from repro.experiments.scenarios import (
 
 def test_scenario_registry_covers_every_figure_and_table():
     assert set(SCENARIOS) == {
-        "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "table3"
+        "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "burst", "table3"
     }
 
 
@@ -51,6 +52,25 @@ def test_run_protocol_returns_result():
 def test_run_scenario_unknown_name():
     with pytest.raises(ValueError, match="unknown scenario"):
         run_scenario("fig99")
+
+
+def test_burst_scenario_multiplies_arrivals():
+    """The burst curves generate ~burst_factor times more tasks than the
+    same protocol at the Table II arrival rate."""
+    from repro.experiments.scenarios import burst
+
+    assert set(BURST_PROTOCOLS) == {"hid-can", "sid-can", "khdn-can", "newscast"}
+    baseline = run_protocol(
+        "hid-can", demand_ratio=0.5, seed=3, n_nodes=30, duration=3000.0
+    )
+    burst_run = run_protocol(
+        "hid-can", demand_ratio=0.5, seed=3, n_nodes=30, duration=3000.0,
+        burst_factor=6.0,
+    )
+    assert burst_run.generated > 3 * baseline.generated
+    import inspect
+
+    assert "burst_factor" in inspect.signature(burst).parameters
 
 
 # ----------------------------------------------------------------------

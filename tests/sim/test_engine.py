@@ -140,6 +140,39 @@ def test_periodic_rejects_bad_interval():
         sim.periodic(0.0, lambda: None)
 
 
+def test_periodic_cancel_from_inside_callback_stops_timer():
+    """Regression: cancelling the handle from within its own callback used
+    to be lost — tick() re-armed and rebound the handle to a fresh,
+    uncancelled event, resurrecting the timer."""
+    sim = Simulator()
+    times = []
+    box = {}
+
+    def tick():
+        times.append(sim.now)
+        if len(times) == 3:
+            box["handle"].cancel()
+
+    box["handle"] = sim.periodic(10.0, tick)
+    sim.run(until=200.0)
+    assert times == [10.0, 20.0, 30.0]
+    assert sim.pending() == 0
+
+
+def test_periodic_cancel_on_first_fire_from_inside_callback():
+    sim = Simulator()
+    times = []
+    box = {}
+
+    def tick():
+        times.append(sim.now)
+        box["handle"].cancel()
+
+    box["handle"] = sim.periodic(5.0, tick)
+    sim.run(until=100.0)
+    assert times == [5.0]
+
+
 def test_stop_halts_run():
     sim = Simulator()
     out = []
