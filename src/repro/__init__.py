@@ -16,13 +16,18 @@ The package is organized as:
 - :mod:`repro.metrics` — T-Ratio / F-Ratio, Jain fairness, traffic and
   placement-balance accounting.
 - :mod:`repro.experiments` — configuration presets, the full SOC simulation
-  runner, per-figure scenario builders, multi-seed statistics, ASCII charts.
+  runner, per-figure scenario builders, parallel resumable campaign grids,
+  multi-seed statistics, JSON persistence, ASCII charts.
 - :mod:`repro.testing` — ProtocolSandbox for driving the algorithms directly.
+
+Start at ``README.md`` for the quickstart and ``docs/architecture.md`` for
+the guided tour; ``python -m repro`` is the CLI.
 """
 
 from repro.cloud.resources import ResourceVector, RESOURCE_DIMS
 from repro.cloud.tasks import Task
 from repro.core.protocol import PIDCANParams, make_protocol, PROTOCOL_NAMES
+from repro.experiments.campaign import CampaignSpec, run_campaign
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SOCSimulation, SimulationResult
 from repro.experiments.scenarios import run_protocol, run_scenario, SCENARIOS
@@ -45,6 +50,8 @@ __all__ = [
     "run_scenario",
     "SCENARIOS",
     "run_seeds",
+    "CampaignSpec",
+    "run_campaign",
     "ProtocolSandbox",
     "__version__",
 ]

@@ -1,16 +1,44 @@
 """Experiment harness: configuration presets, the SOC simulation runner,
-per-figure scenario builders and ASCII reporting."""
+per-figure scenario builders, parallel campaign grids and ASCII reporting."""
 
-from repro.experiments.config import ExperimentConfig, SCALES
-from repro.experiments.runner import SOCSimulation, SimulationResult
-from repro.experiments.scenarios import SCENARIOS, run_protocol, run_scenario
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_status,
+    campaign_summary,
+    load_campaign_cells,
+    run_campaign,
+)
+from repro.experiments.config import (
+    SCALES,
+    ExperimentConfig,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.experiments.runner import SimulationResult, SOCSimulation, run_config
+from repro.experiments.scenarios import (
+    SCENARIO_CONFIGS,
+    SCENARIOS,
+    run_protocol,
+    run_scenario,
+    scenario_configs,
+)
 
 __all__ = [
     "ExperimentConfig",
     "SCALES",
+    "config_from_dict",
+    "config_to_dict",
     "SOCSimulation",
     "SimulationResult",
+    "run_config",
     "SCENARIOS",
+    "SCENARIO_CONFIGS",
     "run_protocol",
     "run_scenario",
+    "scenario_configs",
+    "CampaignSpec",
+    "run_campaign",
+    "campaign_status",
+    "campaign_summary",
+    "load_campaign_cells",
 ]

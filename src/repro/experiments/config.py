@@ -10,14 +10,22 @@ benchmarks assert.  Select with ``ExperimentConfig.at_scale`` or the
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 from repro.core.protocol import PIDCANParams
 from repro.sim.network import NetworkParams
 
-__all__ = ["ExperimentConfig", "SCALES", "env_scale"]
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "env_scale",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 
 #: (n_nodes, duration_seconds) per named scale.
@@ -130,3 +138,35 @@ class ExperimentConfig:
             + (f" churn={self.churn_degree:.0%}" if self.churn_degree else "")
             + (f" burst={self.burst_factor:g}x" if self.burst_factor != 1.0 else "")
         )
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    """A JSON-ready dict for ``config`` (nested params become dicts).
+
+    The inverse of :func:`config_from_dict`:
+    ``config_from_dict(config_to_dict(c)) == c`` for any JSON-representable
+    configuration — the property campaign persistence and the result store
+    rely on.
+    """
+    doc = dataclasses.asdict(config)
+    # Coerce any non-JSON scalar (e.g. numpy numbers in protocol_kwargs)
+    # to its closest JSON type so the document survives a disk round-trip.
+    return json.loads(json.dumps(doc, default=float))
+
+
+def config_from_dict(doc: Mapping[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict`
+    output (e.g. the ``config`` section of a stored result document)."""
+    data = dict(doc)
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    if isinstance(data.get("pidcan"), Mapping):
+        data["pidcan"] = PIDCANParams(**data["pidcan"])
+    if isinstance(data.get("network"), Mapping):
+        data["network"] = NetworkParams(**data["network"])
+    return ExperimentConfig(**data)

@@ -11,14 +11,20 @@ replicas rather than by luck of one seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SimulationResult, SOCSimulation
 
-__all__ = ["MetricStats", "MultiSeedResult", "run_seeds", "ordering_confidence"]
+__all__ = [
+    "MetricStats",
+    "MultiSeedResult",
+    "run_seeds",
+    "ordering_confidence",
+    "stats_from_metric_docs",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +89,22 @@ def run_seeds(
         SOCSimulation(replace(config, seed=seed)).run() for seed in seeds
     )
     return MultiSeedResult(config=config, results=results)
+
+
+def stats_from_metric_docs(
+    metric_docs: Sequence[Mapping[str, float]],
+    names: Sequence[str] = ("t_ratio", "f_ratio", "fairness", "per_node_msg_cost"),
+) -> dict[str, MetricStats]:
+    """Aggregate stored ``metrics`` sections (one per replica, e.g. the
+    seeds of one campaign cell group) into :class:`MetricStats` — the
+    persisted-document twin of :meth:`MultiSeedResult.summary`."""
+    if not metric_docs:
+        raise ValueError("need at least one metrics document")
+    return {
+        name: MetricStats(name, tuple(float(doc[name]) for doc in metric_docs))
+        for name in names
+        if all(name in doc for doc in metric_docs)
+    }
 
 
 def ordering_confidence(

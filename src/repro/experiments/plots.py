@@ -1,17 +1,17 @@
 """ASCII line charts for the paper's time-series figures.
 
 Renders the hour-resolution metric series of several protocols into one
-terminal chart (distinct glyph per curve), so ``pidcan fig5 --chart``
+terminal chart (distinct glyph per curve), so ``python -m repro fig5 --chart``
 visually mirrors Fig. 5 instead of printing a table of numbers.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.experiments.runner import SimulationResult
 
-__all__ = ["ascii_chart", "scenario_charts"]
+__all__ = ["ascii_chart", "scenario_charts", "mean_series_chart"]
 
 #: Curve glyphs, assigned in label order.
 GLYPHS = "*o+x#@%&"
@@ -80,6 +80,35 @@ def ascii_chart(
     )
     lines.append(" " * margin + " " + legend)
     return "\n".join(lines)
+
+
+def mean_series_chart(
+    series_by_label: Mapping[str, Sequence[Mapping[str, Any]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Chart the pointwise mean of stored time series.
+
+    ``series_by_label`` maps each curve label to the stored series
+    documents (``{"times": [...], "values": [...]}``) of its replicas —
+    e.g. one per campaign seed.  Replicas are aligned by sample index
+    (they share the sampling period) and truncated to the shortest; NaN
+    samples are ignored per point.
+    """
+    curves: dict[str, tuple[list[float], list[float]]] = {}
+    for label, docs in series_by_label.items():
+        docs = [d for d in docs if d.get("times")]
+        if not docs:
+            continue
+        length = min(len(d["times"]) for d in docs)
+        hours = [docs[0]["times"][i] / 3600.0 for i in range(length)]
+        means = []
+        for i in range(length):
+            vals = [d["values"][i] for d in docs if d["values"][i] == d["values"][i]]
+            means.append(sum(vals) / len(vals) if vals else float("nan"))
+        curves[label] = (hours, means)
+    return ascii_chart(curves, width=width, height=height, title=title, y_label="hours")
 
 
 def scenario_charts(

@@ -2,13 +2,15 @@
 
 The paper's figures are hour-resolution line plots; here each becomes a
 column-per-protocol table of the sampled metric, and Table III becomes the
-same four-metric table the paper prints.
+same four-metric table the paper prints.  Campaign summaries render as
+mean ± 95% CI tables over the per-seed replicas.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
+from repro.experiments.multiseed import MetricStats
 from repro.experiments.runner import SimulationResult
 
 __all__ = [
@@ -17,6 +19,8 @@ __all__ = [
     "scalability_table",
     "latency_table",
     "render_scenario",
+    "campaign_table",
+    "render_campaign",
 ]
 
 
@@ -124,6 +128,57 @@ def latency_table(results: Mapping[str, SimulationResult], title: str = "") -> s
             + _fmt(rep.mean_messages)
         )
     return "\n".join(lines)
+
+
+def campaign_table(
+    stats_by_label: Mapping[str, Mapping[str, MetricStats]],
+    title: str = "",
+) -> str:
+    """Mean ± 95% CI half-width per curve, one column per metric.
+
+    ``stats_by_label`` is one ``(scenario, scale)`` group of
+    :func:`repro.experiments.campaign.campaign_summary`; the replica
+    count (seeds aggregated) is appended per row.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    labels = list(stats_by_label)
+    if not labels:
+        return "(no cells)"
+    metrics = list(stats_by_label[labels[0]])
+    col = 19
+    header = "curve".ljust(16) + "".join(m.rjust(col) for m in metrics) + "  seeds"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, stats in stats_by_label.items():
+        row = label.ljust(16)
+        n = 0
+        for metric in metrics:
+            st = stats.get(metric)
+            if st is None:
+                row += "-".rjust(col)
+                continue
+            n = len(st.values)
+            half = (st.ci95()[1] - st.ci95()[0]) / 2
+            row += f"{st.mean:9.3f} ±{half:7.3f}".rjust(col)
+        row += f"{n:7d}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_campaign(
+    summary: Mapping[tuple[str, str], Mapping[str, Mapping[str, MetricStats]]],
+) -> str:
+    """One :func:`campaign_table` per (scenario, scale) group."""
+    if not summary:
+        return "(no cells persisted yet)"
+    blocks = []
+    for (scenario, scale), stats_by_label in sorted(summary.items()):
+        blocks.append(
+            campaign_table(stats_by_label, f"{scenario} @ {scale}: mean ± 95% CI")
+        )
+    return "\n\n".join(blocks)
 
 
 def render_scenario(name: str, results: Mapping[str, SimulationResult]) -> str:

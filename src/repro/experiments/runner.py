@@ -51,7 +51,7 @@ from repro.sim.rng import RngRegistry
 from repro.sim.stats import TimeSeries
 from repro.sim.tracing import Tracer
 
-__all__ = ["SOCSimulation", "SimulationResult", "HostNode"]
+__all__ = ["SOCSimulation", "SimulationResult", "HostNode", "run_config"]
 
 #: Task dispatch ships input data, not just control traffic (64 KB).
 PLACEMENT_MSG_BITS = 8 * 64 * 1024
@@ -113,6 +113,16 @@ class SimulationResult:
             "finished": float(self.finished),
             "failed": float(self.failed),
         }
+
+
+def run_config(config: ExperimentConfig) -> SimulationResult:
+    """Build and run one simulation for ``config``.
+
+    A module-level function (unlike ``SOCSimulation(config).run()``) so it
+    can cross a ``ProcessPoolExecutor`` boundary — campaign workers import
+    and call it by reference.
+    """
+    return SOCSimulation(config).run()
 
 
 class SOCSimulation:

@@ -1,9 +1,13 @@
 """Per-figure/table scenario builders (the experiment index of DESIGN.md §4).
 
-Each scenario runs one `SOCSimulation` per curve of the corresponding paper
-figure and returns ``{label: SimulationResult}``.  Scale presets shrink the
-population/horizon but keep the per-node load regime, preserving the
-qualitative shapes the paper reports (who wins, where the crossovers are).
+Each scenario describes one paper figure/table as a ``{label: config}``
+grid — one :class:`ExperimentConfig` per curve — built by
+:func:`scenario_configs`.  :func:`run_scenario` runs every curve serially
+and returns ``{label: SimulationResult}``; the campaign layer
+(:mod:`repro.experiments.campaign`) runs the same grids cell-by-cell in
+parallel with persistence.  Scale presets shrink the population/horizon
+but keep the per-node load regime, preserving the qualitative shapes the
+paper reports (who wins, where the crossovers are).
 """
 
 from __future__ import annotations
@@ -17,7 +21,9 @@ from repro.experiments.runner import SimulationResult, SOCSimulation
 __all__ = [
     "run_protocol",
     "run_scenario",
+    "scenario_configs",
     "SCENARIOS",
+    "SCENARIO_CONFIGS",
     "FIG4_PROTOCOLS",
     "FIG567_PROTOCOLS",
     "BURST_PROTOCOLS",
@@ -47,9 +53,13 @@ CHURN_DEGREES = (0.0, 0.25, 0.50, 0.75, 0.95)
 BURST_PROTOCOLS = ("hid-can", "sid-can", "khdn-can", "newscast")
 
 
-def scalability_populations(scale: str) -> list[int]:
-    """Table III population sweep, scaled: the paper uses 2000..12000."""
-    base, _ = SCALES[scale]
+def scalability_populations(scale: str, base_n: int | None = None) -> list[int]:
+    """Table III population sweep, scaled: the paper uses 2000..12000.
+
+    ``base_n`` overrides the sweep's base population (default: the named
+    scale's) while keeping the 1x..6x shape.
+    """
+    base = base_n if base_n is not None else SCALES[scale][0]
     return [base * m for m in (1, 2, 3, 4, 5, 6)]
 
 
@@ -68,84 +78,194 @@ def run_protocol(
 
 
 # ----------------------------------------------------------------------
-# scenario builders
+# config grids (one ExperimentConfig per figure curve)
 # ----------------------------------------------------------------------
-def fig4a(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def _protocol_grid(
+    protocols: tuple[str, ...],
+    scale: str,
+    default_demand_ratio: float,
+    seed: int,
+    **overrides: Any,
+) -> dict[str, ExperimentConfig]:
+    # Overrides win over the scenario's default regime (demand-ratio
+    # ablations) but never over what the grid itself sweeps (protocol)
+    # or the per-cell seed.
+    params = {"demand_ratio": default_demand_ratio, **overrides}
+    params.pop("protocol", None)
+    params.pop("seed", None)
+    return {
+        p: ExperimentConfig.at_scale(scale, protocol=p, seed=seed, **params)
+        for p in protocols
+    }
+
+
+def fig4a_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """T-Ratio over a day at demand ratio 0.84 (wide demands)."""
-    return {
-        p: run_protocol(p, scale, demand_ratio=0.84, seed=seed)
-        for p in FIG4_PROTOCOLS
-    }
+    return _protocol_grid(FIG4_PROTOCOLS, scale, 0.84, seed, **overrides)
 
 
-def fig4b(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def fig4b_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """Same at demand ratio 0.25 — the Newscast/SID-CAN crossover."""
-    return {
-        p: run_protocol(p, scale, demand_ratio=0.25, seed=seed)
-        for p in FIG4_PROTOCOLS
-    }
+    return _protocol_grid(FIG4_PROTOCOLS, scale, 0.25, seed, **overrides)
 
 
-def _fig567(demand_ratio: float, scale: str, seed: int) -> dict[str, SimulationResult]:
-    return {
-        p: run_protocol(p, scale, demand_ratio=demand_ratio, seed=seed)
-        for p in FIG567_PROTOCOLS
-    }
-
-
-def fig5(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def fig5_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """Six protocols at λ=1 (T-Ratio, F-Ratio, fairness series)."""
-    return _fig567(1.0, scale, seed)
+    return _protocol_grid(FIG567_PROTOCOLS, scale, 1.0, seed, **overrides)
 
 
-def fig6(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def fig6_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """Six protocols at λ=0.5."""
-    return _fig567(0.5, scale, seed)
+    return _protocol_grid(FIG567_PROTOCOLS, scale, 0.5, seed, **overrides)
 
 
-def fig7(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def fig7_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """Six protocols at λ=0.25 (HID's near-zero failed tasks)."""
-    return _fig567(0.25, scale, seed)
+    return _protocol_grid(FIG567_PROTOCOLS, scale, 0.25, seed, **overrides)
 
 
-def fig8(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+def fig8_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
     """HID-CAN under churn, λ=0.5 (dynamic degree sweep)."""
-    out: dict[str, SimulationResult] = {}
+    if "churn_degree" in overrides:
+        raise ValueError(
+            "fig8 sweeps churn_degree; drop the override or exclude fig8"
+        )
+    params = {"protocol": "hid-can", "demand_ratio": 0.5, **overrides}
+    params.pop("seed", None)
+    out: dict[str, ExperimentConfig] = {}
     for degree in CHURN_DEGREES:
         label = "static" if degree == 0 else f"dynamic {degree:.0%}"
-        out[label] = run_protocol(
-            "hid-can", scale, demand_ratio=0.5, seed=seed, churn_degree=degree
+        out[label] = ExperimentConfig.at_scale(
+            scale, seed=seed, churn_degree=degree, **params
         )
     return out
 
 
-def burst(
-    scale: str = "small", seed: int = 42, burst_factor: float = 8.0
-) -> dict[str, SimulationResult]:
+def burst_configs(
+    scale: str = "small",
+    seed: int = 42,
+    burst_factor: float = 8.0,
+    **overrides: Any,
+) -> dict[str, ExperimentConfig]:
     """High-throughput stress: every node submits ``burst_factor`` times
     more often than the Table II regime (λ=0.5), so many query chains are
     in flight concurrently and duty-node caches are scanned at production
     rates.  Not a paper figure — a scale scenario for the vectorized
     cache and the query engine's concurrency behaviour."""
+    return _protocol_grid(
+        BURST_PROTOCOLS, scale, 0.5, seed, burst_factor=burst_factor, **overrides
+    )
+
+
+def table3_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
+    """HID-CAN scalability sweep (λ=0.5): four metrics vs population.
+
+    An ``n_nodes`` override rebases the sweep (1x..6x of the override)
+    instead of being applied verbatim — shrunk campaigns shrink the whole
+    sweep rather than silently ignoring the override.
+    """
+    params = {"protocol": "hid-can", "demand_ratio": 0.5, **overrides}
+    base_n = params.pop("n_nodes", None)
+    params.pop("seed", None)
+    base = ExperimentConfig.at_scale(scale, seed=seed, **params)
     return {
-        p: run_protocol(
-            p, scale, demand_ratio=0.5, seed=seed, burst_factor=burst_factor
-        )
-        for p in BURST_PROTOCOLS
+        str(n): replace(base, n_nodes=n)
+        for n in scalability_populations(scale, base_n)
     }
+
+
+#: Scenario name → config-grid builder (labels follow the paper's curves).
+SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
+    "fig4a": fig4a_configs,
+    "fig4b": fig4b_configs,
+    "fig5": fig5_configs,
+    "fig6": fig6_configs,
+    "fig7": fig7_configs,
+    "fig8": fig8_configs,
+    "burst": burst_configs,
+    "table3": table3_configs,
+}
+
+
+def scenario_configs(
+    name: str, scale: str = "small", seed: int = 42, **kwargs: Any
+) -> dict[str, ExperimentConfig]:
+    """The ``{label: config}`` grid of one scenario, without running it.
+
+    Extra keyword arguments become config overrides (``burst_factor`` for
+    the burst scenario, anything :class:`ExperimentConfig` accepts for the
+    rest) — the hook campaigns use to shrink cells.
+    """
+    try:
+        builder = SCENARIO_CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIO_CONFIGS)}"
+        ) from None
+    return builder(scale=scale, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# serial scenario runners (the legacy `python -m repro <scenario>` path)
+# ----------------------------------------------------------------------
+def _run_grid(configs: dict[str, ExperimentConfig]) -> dict[str, SimulationResult]:
+    return {label: SOCSimulation(cfg).run() for label, cfg in configs.items()}
+
+
+def fig4a(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """T-Ratio over a day at demand ratio 0.84 (wide demands)."""
+    return _run_grid(fig4a_configs(scale, seed))
+
+
+def fig4b(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Same at demand ratio 0.25 — the Newscast/SID-CAN crossover."""
+    return _run_grid(fig4b_configs(scale, seed))
+
+
+def fig5(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=1 (T-Ratio, F-Ratio, fairness series)."""
+    return _run_grid(fig5_configs(scale, seed))
+
+
+def fig6(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=0.5."""
+    return _run_grid(fig6_configs(scale, seed))
+
+
+def fig7(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Six protocols at λ=0.25 (HID's near-zero failed tasks)."""
+    return _run_grid(fig7_configs(scale, seed))
+
+
+def fig8(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """HID-CAN under churn, λ=0.5 (dynamic degree sweep)."""
+    return _run_grid(fig8_configs(scale, seed))
+
+
+def burst(
+    scale: str = "small", seed: int = 42, burst_factor: float = 8.0
+) -> dict[str, SimulationResult]:
+    """High-throughput stress (see :func:`burst_configs`)."""
+    return _run_grid(burst_configs(scale, seed, burst_factor=burst_factor))
 
 
 def table3(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     """HID-CAN scalability sweep (λ=0.5): four metrics vs population."""
-    _, duration = SCALES[scale]
-    out: dict[str, SimulationResult] = {}
-    for n in scalability_populations(scale):
-        config = ExperimentConfig.at_scale(
-            scale, protocol="hid-can", demand_ratio=0.5, seed=seed
-        )
-        config = replace(config, n_nodes=n, duration=duration)
-        out[str(n)] = SOCSimulation(config).run()
-    return out
+    return _run_grid(table3_configs(scale, seed))
 
 
 SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {

@@ -3,36 +3,40 @@
 Serializes :class:`SimulationResult` to a stable JSON document (config,
 end-of-run metrics, hourly series, traffic breakdown) so runs can be
 archived, diffed across code versions, and re-rendered without re-running
-the simulations — the workflow behind EXPERIMENTS.md.
+the simulations — the workflow behind ``docs/experiments.md``.  Campaign
+cells (:mod:`repro.experiments.campaign`) persist through the same
+document layout, one file per cell, written atomically so a killed
+campaign never leaves a half-written cell behind.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.experiments.config import config_to_dict
 from repro.experiments.runner import SimulationResult
 
-__all__ = ["result_to_dict", "save_results", "load_results", "diff_results"]
+__all__ = [
+    "result_to_dict",
+    "save_results",
+    "load_results",
+    "diff_results",
+    "save_cell_doc",
+    "load_cell_doc",
+]
 
 #: Bump when the document layout changes.
 SCHEMA_VERSION = 1
-
-
-def _config_dict(config) -> dict[str, Any]:
-    doc = dataclasses.asdict(config)
-    # nested frozen dataclasses (pidcan, network) become dicts already;
-    # keep only JSON-representable values
-    return json.loads(json.dumps(doc, default=str))
 
 
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
     """A JSON-ready document for one run."""
     return {
         "schema": SCHEMA_VERSION,
-        "config": _config_dict(result.config),
+        "config": config_to_dict(result.config),
         "metrics": {
             "t_ratio": result.t_ratio,
             "f_ratio": result.f_ratio,
@@ -79,6 +83,37 @@ def load_results(path: str | Path) -> dict[str, dict[str, Any]]:
             f"expected {SCHEMA_VERSION}"
         )
     return doc["runs"]
+
+
+def save_cell_doc(
+    path: str | Path, cell: Mapping[str, Any], run: Mapping[str, Any]
+) -> Path:
+    """Atomically write one campaign-cell document.
+
+    ``cell`` is the grid coordinate (scenario/scale/seed/label/id, plus
+    anything the campaign wants to record, e.g. the worker pid); ``run``
+    is a :func:`result_to_dict` document.  Write-then-rename keeps resume
+    safe: a cell file either exists complete or not at all.
+    """
+    path = Path(path)
+    doc = {"schema": SCHEMA_VERSION, "cell": dict(cell), "run": dict(run)}
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True, allow_nan=True))
+    os.replace(tmp, path)
+    return path
+
+
+def load_cell_doc(path: str | Path) -> dict[str, Any]:
+    """Load one campaign-cell document (schema-checked, no rehydration)."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported cell schema {doc.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if "cell" not in doc or "run" not in doc:
+        raise ValueError(f"malformed cell document {path}")
+    return doc
 
 
 def diff_results(

@@ -81,3 +81,79 @@ def test_main_renders_scenario(monkeypatch, capsys):
     assert rc == 0
     assert "throughput ratio" in captured.out
     assert "wall clock" in captured.out
+
+
+# ----------------------------------------------------------------------
+# campaign subcommand
+# ----------------------------------------------------------------------
+def test_parse_cli_dispatches_both_families():
+    args = cli.parse_cli(["fig5", "--scale", "tiny"])
+    assert args.scenario == "fig5"
+    args = cli.parse_cli(
+        ["campaign", "run", "--scenarios", "fig4a", "--seeds", "1", "2"]
+    )
+    assert args.command == "run"
+    assert args.scenarios == ["fig4a"]
+    assert args.seeds == [1, 2]
+
+
+def test_campaign_parser_rejects_bad_input():
+    with pytest.raises(SystemExit):
+        cli.parse_cli(["campaign"])  # subcommand required
+    with pytest.raises(SystemExit):
+        cli.parse_cli(["campaign", "run", "--scenarios", "fig99"])
+    with pytest.raises(SystemExit):
+        cli.parse_cli(["campaign", "report"])  # --dir required
+
+
+def test_parse_overrides():
+    assert cli._parse_overrides(["n_nodes=60", "duration=3600", "protocol=hid-can"]) \
+        == {"n_nodes": 60, "duration": 3600, "protocol": "hid-can"}
+    with pytest.raises(ValueError):
+        cli._parse_overrides(["n_nodes"])
+
+
+def test_campaign_run_status_report_end_to_end(tmp_path, capsys):
+    directory = str(tmp_path / "camp")
+    run_args = [
+        "campaign", "run", "--scenarios", "fig4a", "--scales", "tiny",
+        "--seeds", "1", "--protocols", "newscast", "sid-can",
+        "--override", "n_nodes=25", "duration=2500", "sample_period=1000",
+        "--dir", directory, "--workers", "2",
+    ]
+    assert cli.main(run_args) == 0
+    out = capsys.readouterr().out
+    assert "2 cell(s) run" in out
+
+    # a second identical invocation re-runs zero cells
+    assert cli.main(run_args) == 0
+    assert "0 cell(s) run, 2 skipped" in capsys.readouterr().out
+
+    assert cli.main(["campaign", "status", "--dir", directory]) == 0
+    assert "2/2 complete" in capsys.readouterr().out
+
+    assert cli.main(["campaign", "report", "--dir", directory, "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a @ tiny" in out and "±" in out and "newscast" in out
+
+
+def test_campaign_run_rejects_bad_spec(tmp_path, capsys):
+    rc = cli.main([
+        "campaign", "run", "--scenarios", "fig4a",
+        "--override", "nonsense_field=1", "--dir", str(tmp_path / "x"),
+    ])
+    assert rc == 2
+    assert "invalid campaign spec" in capsys.readouterr().err
+    # bad override *values* are caught at spec time too, not mid-campaign
+    rc = cli.main([
+        "campaign", "run", "--scenarios", "fig4a",
+        "--override", "n_nodes=1", "--dir", str(tmp_path / "x"),
+    ])
+    assert rc == 2
+    assert "invalid campaign spec" in capsys.readouterr().err
+
+
+def test_campaign_report_missing_dir(tmp_path, capsys):
+    rc = cli.main(["campaign", "report", "--dir", str(tmp_path / "nothing")])
+    assert rc == 2
+    assert "cells" in capsys.readouterr().err

@@ -1,8 +1,19 @@
-"""Tests for experiment configuration and presets."""
+"""Tests for experiment configuration, presets and JSON round-trip."""
+
+import dataclasses
+import json
 
 import pytest
 
-from repro.experiments.config import SCALES, ExperimentConfig, env_scale
+from repro.core.protocol import PIDCANParams
+from repro.experiments.config import (
+    SCALES,
+    ExperimentConfig,
+    config_from_dict,
+    config_to_dict,
+    env_scale,
+)
+from repro.sim.network import NetworkParams
 
 
 def test_scale_presets():
@@ -70,3 +81,46 @@ def test_burst_factor_validation():
         ExperimentConfig(burst_factor=0.5)
     with pytest.raises(ValueError):
         ExperimentConfig(mean_interarrival=0.0)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip (campaign persistence relies on this being exact)
+# ----------------------------------------------------------------------
+def test_config_roundtrip_default():
+    cfg = ExperimentConfig()
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+def test_config_roundtrip_nontrivial():
+    cfg = ExperimentConfig.at_scale(
+        "tiny",
+        protocol="khdn-can",
+        demand_ratio=0.25,
+        seed=9,
+        burst_factor=4.0,
+        churn_degree=0.5,
+        admission="strict",
+        local_first=True,
+        protocol_kwargs={"k_hops": 3},
+        pidcan=dataclasses.replace(PIDCANParams(), sos=True, delta=5),
+        network=dataclasses.replace(NetworkParams(), lan_size=10),
+    )
+    rebuilt = config_from_dict(config_to_dict(cfg))
+    assert rebuilt == cfg
+    assert rebuilt.pidcan.sos is True
+    assert rebuilt.network.lan_size == 10
+    assert rebuilt.protocol_kwargs == {"k_hops": 3}
+
+
+def test_config_roundtrip_survives_disk_json(tmp_path):
+    cfg = ExperimentConfig.at_scale("tiny", protocol="newscast", seed=3)
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(config_to_dict(cfg)))
+    assert config_from_dict(json.loads(path.read_text())) == cfg
+
+
+def test_config_from_dict_rejects_unknown_fields():
+    doc = config_to_dict(ExperimentConfig())
+    doc["warp_speed"] = 11
+    with pytest.raises(ValueError, match="unknown config fields"):
+        config_from_dict(doc)

@@ -72,3 +72,35 @@ def test_diff_detects_missing_labels(tmp_path, result):
     assert lines == ["a: only in old"]
     lines = diff_results({}, runs)
     assert lines == ["a: only in new"]
+
+
+def test_result_doc_config_roundtrips_to_identical_config(result):
+    from repro.experiments.config import config_from_dict
+
+    doc = result_to_dict(result)
+    assert config_from_dict(doc["config"]) == result.config
+
+
+def test_cell_doc_roundtrip(tmp_path, result):
+    from repro.experiments.store import load_cell_doc, save_cell_doc
+
+    cell = {"id": "abc123", "scenario": "fig5", "scale": "tiny", "seed": 6,
+            "label": "hid-can", "worker_pid": 4242}
+    path = save_cell_doc(tmp_path / "cell.json", cell, result_to_dict(result))
+    doc = load_cell_doc(path)
+    assert doc["cell"] == cell
+    assert doc["run"]["metrics"]["generated"] == result.generated
+    # atomic write leaves no temp file behind
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_cell_doc_schema_and_shape_checked(tmp_path):
+    from repro.experiments.store import SCHEMA_VERSION, load_cell_doc
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "cell": {}, "run": {}}))
+    with pytest.raises(ValueError, match="schema"):
+        load_cell_doc(bad)
+    bad.write_text(json.dumps({"schema": SCHEMA_VERSION, "cell": {}}))
+    with pytest.raises(ValueError, match="malformed"):
+        load_cell_doc(bad)
