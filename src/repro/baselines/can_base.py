@@ -1,0 +1,101 @@
+"""Shared CAN substrate for the duty-cache baselines.
+
+``randomwalk-can``, ``khdn-can`` and ``inscan-rq`` all keep the same
+per-node state as PID-CAN minus the index diffusion: a CAN overlay,
+per-node state caches γ, INSCAN pointer tables, and the §IV-A periodic
+state updates routed to duty nodes.  This base centralizes that
+membership and state-update plumbing in one place (it had drifted across
+per-baseline copies — e.g. whether a churn join charges maintenance
+traffic); subclasses add their query strategy on top and may hook
+:meth:`_on_state_stored` (KHDN's K-hop replication).
+"""
+
+from __future__ import annotations
+
+from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.lifecycle import QueryLifecycle
+from repro.core.protocol import DiscoveryProtocol, PIDCANParams
+from repro.core.state import StateCache, StateRecord
+
+__all__ = ["CANStateBaseline"]
+
+
+class CANStateBaseline(DiscoveryProtocol):
+    """Overlay + duty caches + periodic state updates, no diffusion."""
+
+    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
+        self.ctx = ctx
+        self.params = params
+        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
+        self.caches: dict[int, StateCache] = {}
+        self.tables: dict[int, IndexPointerTable] = {}
+        self.lifecycle = QueryLifecycle(ctx, params.query_timeout)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def bootstrap(self, node_ids: list[int]) -> None:
+        self.overlay.bootstrap(node_ids)
+        for node_id in node_ids:
+            self.caches[node_id] = StateCache(self.params.state_ttl)
+        # Tables are built after the full overlay exists (uncharged, like
+        # PID-CAN's bootstrap).
+        for node_id in node_ids:
+            self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
+        for node_id in node_ids:
+            self._arm_state_updates(node_id)
+
+    def on_join(self, node_id: int) -> None:
+        self.overlay.join(node_id)
+        self.caches[node_id] = StateCache(self.params.state_ttl)
+        table = build_index_table(self.overlay, node_id, self.ctx.rng)
+        self.tables[node_id] = table
+        self.ctx.charge_local("maintenance", node_id, table.build_messages)
+        self._arm_state_updates(node_id)
+
+    def on_leave(self, node_id: int) -> None:
+        if node_id in self.overlay:
+            self.overlay.leave(node_id)
+        self.caches.pop(node_id, None)
+        self.tables.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # periodic state updates (self-chaining so they die with the node)
+    # ------------------------------------------------------------------
+    def _arm_state_updates(self, node_id: int) -> None:
+        period = self.params.state_period
+
+        def tick() -> None:
+            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
+                return
+            self._state_update(node_id)
+            self.ctx.sim.schedule(period, tick)
+
+        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+
+    def _state_update(self, node_id: int) -> None:
+        availability = self.ctx.availability_of(node_id)
+        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
+        try:
+            path = inscan_path(
+                self.overlay, self.tables, node_id, self.ctx.normalize(availability)
+            )
+        except (RoutingError, KeyError):
+            return  # overlay mid-repair; next cycle retries
+        self.ctx.send_path(
+            "state-update", path, self._deliver_state, path[-1], record
+        )
+
+    def _deliver_state(self, duty: int, record: StateRecord) -> None:
+        cache = self.caches.get(duty)
+        if cache is None:
+            return
+        cache.put(record)
+        self._on_state_stored(duty, record)
+
+    def _on_state_stored(self, duty: int, record: StateRecord) -> None:
+        """Hook invoked after a state record lands in ``duty``'s cache
+        (KHDN replicates it to the negative K-hop frontier here)."""

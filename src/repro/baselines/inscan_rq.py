@@ -9,22 +9,36 @@ every *responsible node* — every node whose zone overlaps the positive box
   responsible nodes,
 
 and uses the heavy N-dependent traffic to motivate PID-CAN's single-message
-constraint.  This engine is used standalone by the §III-A benchmark; it is
-not wired into the SOC simulation (the paper does not evaluate it there
-either).
+constraint.  :class:`INSCANRangeQuery` is the standalone engine the §III-A
+benchmark drives synchronously; :class:`InscanRQProtocol` (registered as
+``inscan-rq``) adapts it to the :class:`~repro.core.protocol.
+DiscoveryProtocol` interface — state updates route to duty nodes exactly
+as in PID-CAN, a query routes to its duty node and floods from there —
+so the flooding baseline can run inside the SOC simulation and the churn
+campaigns.  The paper does not evaluate it there; we do, to expose its
+N-dependent traffic under the same workloads as every other protocol.
+
+Query state (found records, message count, the failsafe timeout that
+resolves queries whose duty route died mid-churn) lives in the shared
+:class:`~repro.core.lifecycle.QueryLifecycle`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro.baselines.can_base import CANStateBaseline
 from repro.can.inscan import IndexPointerTable, inscan_path
 from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError
+from repro.core.context import ProtocolContext
+from repro.core.protocol import PIDCANParams
 from repro.core.state import StateCache, StateRecord
 
-__all__ = ["INSCANRangeQuery", "RangeQueryResult"]
+__all__ = ["INSCANRangeQuery", "InscanRQProtocol", "RangeQueryResult"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,3 +113,64 @@ class INSCANRangeQuery:
             flood_depth=depth,
             responsible_nodes=len(seen),
         )
+
+
+class InscanRQProtocol(CANStateBaseline):
+    """SOC adapter for the flooding range query (§III-A baseline).
+
+    Complete results at N-dependent cost: the query routes to its duty
+    node, the duty node floods every responsible zone in-process (each
+    tree edge charged as ``flood-query`` traffic) and sends one
+    ``query-end`` back to the requester carrying everything found.
+    Membership and the §IV-A state-update regime come from
+    :class:`~repro.baselines.can_base.CANStateBaseline`.
+    """
+
+    name = "inscan-rq"
+
+    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
+        super().__init__(ctx, params)
+        self.engine = INSCANRangeQuery(self.overlay, self.tables, self.caches)
+
+    # ------------------------------------------------------------------
+    # query: route to the duty node, flood from there
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> None:
+        rt = self.lifecycle.begin(demand, requester, callback)
+        point = self.ctx.normalize(rt.demand)
+        try:
+            path = inscan_path(self.overlay, self.tables, requester, point)
+        except (RoutingError, KeyError):
+            self.lifecycle.finalize(rt)
+            return
+        rt.messages += len(path) - 1
+        self.ctx.send_path("duty-query", path, self._on_duty, rt.qid, path[-1])
+
+    def _on_duty(self, qid: int, duty: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
+        point = self.ctx.normalize(rt.v)
+        try:
+            # The flood starts at the duty node, so its route prefix is
+            # empty; every flood-tree edge is charged to the duty node.
+            result = self.engine.query(duty, rt.demand, point, self.ctx.sim.now)
+        except (RoutingError, KeyError):
+            # Overlay mid-repair under churn; the failsafe resolves us.
+            return
+        self.ctx.charge_local("flood-query", duty, result.messages)
+        rt.messages += result.messages
+        rt.found.extend(result.records)
+        rt.messages += 1
+        self.ctx.send("query-end", duty, rt.requester, self._on_end, qid)
+
+    def _on_end(self, qid: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
+        self.lifecycle.finalize(rt)

@@ -11,6 +11,11 @@ opposite trade to PID-CAN's constant-ω index diffusion, which is the
 comparison §IV draws.  ``replication_fanout`` bounds the per-hop spread so
 total traffic can be tuned close to PID-CAN's (the paper tunes K for
 traffic parity).
+
+Query state (found records, message count, the failsafe timeout that
+resolves probe chains lost to churn) lives in the shared
+:class:`~repro.core.lifecycle.QueryLifecycle`; probe messages carry only
+the query id plus the remaining probe list.
 """
 
 from __future__ import annotations
@@ -19,17 +24,18 @@ from typing import Callable
 
 import numpy as np
 
-from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
-from repro.can.overlay import CANOverlay
+from repro.baselines.can_base import CANStateBaseline
+from repro.can.inscan import inscan_path
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
-from repro.core.protocol import DiscoveryProtocol, PIDCANParams
-from repro.core.state import StateCache, StateRecord
+from repro.core.lifecycle import QueryRuntime
+from repro.core.protocol import PIDCANParams
+from repro.core.state import StateRecord
 
 __all__ = ["KHDNProtocol"]
 
 
-class KHDNProtocol(DiscoveryProtocol):
+class KHDNProtocol(CANStateBaseline):
     """K-hop negative replication + positive probing on INSCAN."""
 
     name = "khdn-can"
@@ -42,74 +48,22 @@ class KHDNProtocol(DiscoveryProtocol):
         replication_fanout: int = 2,
         max_probes: int = 12,
     ):
-        self.ctx = ctx
-        self.params = params
+        super().__init__(ctx, params)
         self.k_hops = k_hops
         self.replication_fanout = replication_fanout
         self.max_probes = max_probes
-        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
-        self.caches: dict[int, StateCache] = {}
-        self.tables: dict[int, IndexPointerTable] = {}
 
     # ------------------------------------------------------------------
-    # membership
+    # K-hop negative replication of delivered state
     # ------------------------------------------------------------------
-    def bootstrap(self, node_ids: list[int]) -> None:
-        self.overlay.bootstrap(node_ids)
-        for node_id in node_ids:
-            self.caches[node_id] = StateCache(self.params.state_ttl)
-        for node_id in node_ids:
-            self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
-        for node_id in node_ids:
-            self._arm_state_updates(node_id)
-
-    def on_join(self, node_id: int) -> None:
-        self.overlay.join(node_id)
-        self.caches[node_id] = StateCache(self.params.state_ttl)
-        table = build_index_table(self.overlay, node_id, self.ctx.rng)
-        self.tables[node_id] = table
-        self.ctx.charge_local("maintenance", node_id, table.build_messages)
-        self._arm_state_updates(node_id)
-
-    def on_leave(self, node_id: int) -> None:
-        if node_id in self.overlay:
-            self.overlay.leave(node_id)
-        self.caches.pop(node_id, None)
-        self.tables.pop(node_id, None)
-
-    # ------------------------------------------------------------------
-    # state updates with K-hop negative replication
-    # ------------------------------------------------------------------
-    def _arm_state_updates(self, node_id: int) -> None:
-        period = self.params.state_period
-
-        def tick() -> None:
-            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
-                return
-            self._state_update(node_id)
-            self.ctx.sim.schedule(period, tick)
-
-        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
-
-    def _state_update(self, node_id: int) -> None:
-        availability = self.ctx.availability_of(node_id)
-        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
-        point = self.ctx.normalize(availability)
-        try:
-            path = inscan_path(self.overlay, self.tables, node_id, point)
-        except (RoutingError, KeyError):
-            return
-        self.ctx.send_path("state-update", path, self._deliver_state, path[-1], record)
-
-    def _deliver_state(self, duty: int, record: StateRecord) -> None:
-        cache = self.caches.get(duty)
-        if cache is None:
-            return
-        cache.put(record)
+    def _on_state_stored(self, duty: int, record: StateRecord) -> None:
         # Spread to sampled negative neighbors within K hops; each tree edge
-        # is one replication message.
-        for replica in self._sampled_frontier(duty, sign=-1):
-            self.ctx.charge_local("state-replication", duty)
+        # is one replication message, charged in bulk.
+        replicas = self._sampled_frontier(duty, sign=-1)
+        if not replicas:
+            return
+        self.ctx.charge_local("state-replication", duty, len(replicas))
+        for replica in replicas:
             target = self.caches.get(replica)
             if target is not None:
                 target.put(record)
@@ -152,72 +106,58 @@ class KHDNProtocol(DiscoveryProtocol):
         requester: int,
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
-        demand = np.asarray(demand, dtype=np.float64)
-        point = self.ctx.normalize(demand)
+        rt = self.lifecycle.begin(demand, requester, callback)
+        point = self.ctx.normalize(rt.demand)
         try:
             path = inscan_path(self.overlay, self.tables, requester, point)
         except (RoutingError, KeyError):
-            callback([], 0)
+            self.lifecycle.finalize(rt)
             return
-        messages = len(path) - 1
-        self.ctx.send_path(
-            "duty-query", path, self._on_duty, path[-1], demand, messages, callback
-        )
+        rt.messages += len(path) - 1
+        self.ctx.send_path("duty-query", path, self._on_duty, rt.qid, path[-1])
 
-    def _on_duty(
-        self,
-        duty: int,
-        demand: np.ndarray,
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
-    ) -> None:
+    def _on_duty(self, qid: int, duty: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
         now = self.ctx.sim.now
-        found: list[StateRecord] = []
         cache = self.caches.get(duty)
         if cache is not None:
-            found.extend(cache.qualified(demand, now, limit=self.params.delta))
-        if len(found) >= self.params.delta:
-            callback(found, messages)
+            rt.found.extend(
+                cache.qualified(rt.demand, now, limit=self.params.delta)
+            )
+        if len(rt.found) >= self.params.delta:
+            self.lifecycle.finalize(rt)
             return
         probes = self._sampled_frontier(duty, sign=+1)[: self.max_probes]
-        self._probe_chain(duty, probes, demand, found, messages, callback)
+        self._probe_chain(rt, duty, probes)
 
     def _probe_chain(
-        self,
-        current: int,
-        probes: list[int],
-        demand: np.ndarray,
-        found: list[StateRecord],
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
+        self, rt: QueryRuntime, current: int, probes: list[int]
     ) -> None:
-        # one record per owner in ``found`` (owner-keyed caches + exclusion)
-        if not probes or len(found) >= self.params.delta:
-            callback(found, messages)
+        # one record per owner in ``rt.found`` (owner-keyed caches +
+        # exclusion)
+        if not probes or len(rt.found) >= self.params.delta:
+            self.lifecycle.finalize(rt)
             return
         nxt = probes.pop(0)
+        rt.messages += 1
         self.ctx.send(
-            "probe-query", current, nxt,
-            self._on_probe, nxt, probes, demand, found, messages + 1, callback,
+            "probe-query", current, nxt, self._on_probe, rt.qid, nxt, probes
         )
 
-    def _on_probe(
-        self,
-        me: int,
-        probes: list[int],
-        demand: np.ndarray,
-        found: list[StateRecord],
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
-    ) -> None:
+    def _on_probe(self, qid: int, me: int, probes: list[int]) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
         cache = self.caches.get(me)
         if cache is not None and len(cache):
-            need = self.params.delta - len(found)
+            need = self.params.delta - len(rt.found)
             if need > 0:
-                found.extend(
+                rt.found.extend(
                     cache.qualified(
-                        demand, self.ctx.sim.now, limit=need,
-                        exclude={r.owner for r in found},
+                        rt.demand, self.ctx.sim.now, limit=need,
+                        exclude={r.owner for r in rt.found},
                     )
                 )
-        self._probe_chain(me, probes, demand, found, messages, callback)
+        self._probe_chain(rt, me, probes)

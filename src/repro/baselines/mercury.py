@@ -17,6 +17,11 @@ The paper's §V critique, which this implementation lets the benches verify:
 
 Ring routing uses successor fingers at 2^k arc distances, the standard
 Mercury/Chord-style long links, giving O(log n) hops to any value.
+
+Query state (found records, message count, the failsafe timeout that
+resolves range walks lost to churn) lives in the shared
+:class:`~repro.core.lifecycle.QueryLifecycle`; walk messages carry only
+the query id plus the hub/budget coordinates.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.context import ProtocolContext
+from repro.core.lifecycle import QueryLifecycle
 from repro.core.protocol import DiscoveryProtocol, PIDCANParams
 from repro.core.state import StateCache, StateRecord
 
@@ -136,6 +142,7 @@ class MercuryProtocol(DiscoveryProtocol):
         self.hubs = [HubRing(k) for k in range(self.dims)]
         self.hub_of: dict[int, int] = {}
         self.caches: dict[int, StateCache] = {}
+        self.lifecycle = QueryLifecycle(ctx, params.query_timeout)
 
     # ------------------------------------------------------------------
     # membership
@@ -212,57 +219,49 @@ class MercuryProtocol(DiscoveryProtocol):
         requester: int,
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
-        demand = np.asarray(demand, dtype=np.float64)
-        point = self.ctx.normalize(demand)
+        rt = self.lifecycle.begin(demand, requester, callback)
+        point = self.ctx.normalize(rt.demand)
         try:
             hub = self._most_selective_hub(point)
         except LookupError:
-            callback([], 0)
+            self.lifecycle.finalize(rt)
             return
         value = point[hub.attribute]
         entry = hub.owner_of(value)
         hops = hub.routing_hops(requester, value)
         self.ctx.charge_local("duty-query", requester, max(hops, 1))
+        rt.messages += max(hops, 1)
         delay = hops * self.ctx.network.delay(requester, entry)
         self.ctx.sim.schedule(
-            delay,
-            self._walk, hub.attribute, entry, demand, self.walk_budget, [],
-            max(hops, 1), callback,
+            delay, self._walk, rt.qid, hub.attribute, entry, self.walk_budget
         )
 
-    def _walk(
-        self,
-        hub_idx: int,
-        node_id: int,
-        demand: np.ndarray,
-        budget: int,
-        found: list[StateRecord],
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
-    ) -> None:
+    def _walk(self, qid: int, hub_idx: int, node_id: int, budget: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
         hub = self.hubs[hub_idx]
         if self.ctx.is_alive(node_id):
             cache = self.caches.get(node_id)
             if cache is not None and len(cache):
-                # one record per owner in ``found`` (owner-keyed caches +
+                # one record per owner in ``rt.found`` (owner-keyed caches +
                 # exclusion on every scan)
-                need = self.params.delta - len(found)
+                need = self.params.delta - len(rt.found)
                 if need > 0:
-                    found.extend(
+                    rt.found.extend(
                         cache.qualified(
-                            demand, self.ctx.sim.now, limit=need,
-                            exclude={r.owner for r in found},
+                            rt.demand, self.ctx.sim.now, limit=need,
+                            exclude={r.owner for r in rt.found},
                         )
                     )
-        if budget <= 0 or len(found) >= self.params.delta:
-            callback(found, messages)
+        if budget <= 0 or len(rt.found) >= self.params.delta:
+            self.lifecycle.finalize(rt)
             return
         nxt = hub.successor_no_wrap(node_id) if node_id in hub else None
         if nxt is None:
-            callback(found, messages)
+            self.lifecycle.finalize(rt)
             return
+        rt.messages += 1
         self.ctx.send(
-            "walk-query", node_id, nxt,
-            self._walk, hub_idx, nxt, demand, budget - 1, found,
-            messages + 1, callback,
+            "walk-query", node_id, nxt, self._walk, qid, hub_idx, nxt, budget - 1
         )

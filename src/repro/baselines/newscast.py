@@ -12,6 +12,11 @@ random view peer.  This gives the baseline its characteristic behaviour:
 good dispersal (entries are uniformly random, so light demands spread over
 the whole system) but a poor matching rate for demanding queries (no
 structure directs the walk toward qualified records).
+
+Query state (found records, message count, the failsafe timeout that
+resolves walks lost to churn) lives in the shared
+:class:`~repro.core.lifecycle.QueryLifecycle`; walk messages carry only
+the query id.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.context import ProtocolContext
+from repro.core.lifecycle import QueryLifecycle
 from repro.core.protocol import DiscoveryProtocol, PIDCANParams
 from repro.core.state import StateRecord
 
@@ -55,7 +61,7 @@ class NewscastProtocol(DiscoveryProtocol):
         self._walk_hops = walk_hops
         self.views: dict[int, list[ViewEntry]] = {}
         self._population = 0
-        self._next_qid = 0
+        self.lifecycle = QueryLifecycle(ctx, params.query_timeout)
 
     # ------------------------------------------------------------------
     # sizing (fan-out limited to log2 n, §IV-A)
@@ -166,37 +172,33 @@ class NewscastProtocol(DiscoveryProtocol):
         requester: int,
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
-        demand = np.asarray(demand, dtype=np.float64)
-        self._next_qid += 1
-        self._walk(requester, demand, self.walk_hops(), [], 0, callback)
+        rt = self.lifecycle.begin(demand, requester, callback)
+        self._walk(rt.qid, requester, self.walk_hops())
 
-    def _walk(
-        self,
-        node_id: int,
-        demand: np.ndarray,
-        hops_left: int,
-        found: list[StateRecord],
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
-    ) -> None:
+    def _walk(self, qid: int, node_id: int, hops_left: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
         now = self.ctx.sim.now
         view = self.views.get(node_id, [])
         fresh_cutoff = now - self.params.state_ttl
         for entry in view:
             if entry.timestamp < fresh_cutoff:
                 continue
-            if bool(np.all(entry.availability >= demand - 1e-9)):
-                found.append(StateRecord(entry.peer, entry.availability, entry.timestamp))
-        if len({r.owner for r in found}) >= self.params.delta or hops_left <= 0:
-            callback(found, messages)
+            if bool(np.all(entry.availability >= rt.demand - 1e-9)):
+                rt.found.append(
+                    StateRecord(entry.peer, entry.availability, entry.timestamp)
+                )
+        if len({r.owner for r in rt.found}) >= self.params.delta or hops_left <= 0:
+            self.lifecycle.finalize(rt)
             return
         nxt = self.ctx.choice(
             [e.peer for e in view if e.timestamp >= fresh_cutoff and self.ctx.is_alive(e.peer)]
         )
         if nxt is None:
-            callback(found, messages)
+            self.lifecycle.finalize(rt)
             return
+        rt.messages += 1
         self.ctx.send(
-            "walk-query", node_id, nxt,
-            self._walk, nxt, demand, hops_left - 1, found, messages + 1, callback,
+            "walk-query", node_id, nxt, self._walk, qid, nxt, hops_left - 1
         )

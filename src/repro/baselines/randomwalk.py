@@ -9,6 +9,11 @@ State updates route to duty nodes exactly as in PID-CAN, but there is *no*
 index diffusion: the query walks randomly through positive-direction
 neighbors hoping to stumble on caches holding qualified records.  Kept as
 an ablation showing what the proactive index diffusion buys.
+
+Query state (found records, message count, the failsafe timeout that
+resolves walks lost to churn) lives in the shared
+:class:`~repro.core.lifecycle.QueryLifecycle`; the walk messages carry
+only the query id.
 """
 
 from __future__ import annotations
@@ -17,17 +22,17 @@ from typing import Callable
 
 import numpy as np
 
-from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
-from repro.can.overlay import CANOverlay
+from repro.baselines.can_base import CANStateBaseline
+from repro.can.inscan import inscan_path
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
-from repro.core.protocol import DiscoveryProtocol, PIDCANParams
-from repro.core.state import StateCache, StateRecord
+from repro.core.protocol import PIDCANParams
+from repro.core.state import StateRecord
 
 __all__ = ["RandomWalkProtocol"]
 
 
-class RandomWalkProtocol(DiscoveryProtocol):
+class RandomWalkProtocol(CANStateBaseline):
     """Duty-node location + positive-direction random walk."""
 
     name = "randomwalk-can"
@@ -38,63 +43,8 @@ class RandomWalkProtocol(DiscoveryProtocol):
         params: PIDCANParams,
         walk_hops: int = 12,
     ):
-        self.ctx = ctx
-        self.params = params
+        super().__init__(ctx, params)
         self.walk_hops = walk_hops
-        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
-        self.caches: dict[int, StateCache] = {}
-        self.tables: dict[int, IndexPointerTable] = {}
-
-    # ------------------------------------------------------------------
-    def bootstrap(self, node_ids: list[int]) -> None:
-        self.overlay.bootstrap(node_ids)
-        for node_id in node_ids:
-            self.caches[node_id] = StateCache(self.params.state_ttl)
-        for node_id in node_ids:
-            self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
-        for node_id in node_ids:
-            self._arm_state_updates(node_id)
-
-    def on_join(self, node_id: int) -> None:
-        self.overlay.join(node_id)
-        self.caches[node_id] = StateCache(self.params.state_ttl)
-        self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
-        self._arm_state_updates(node_id)
-
-    def on_leave(self, node_id: int) -> None:
-        if node_id in self.overlay:
-            self.overlay.leave(node_id)
-        self.caches.pop(node_id, None)
-        self.tables.pop(node_id, None)
-
-    def _arm_state_updates(self, node_id: int) -> None:
-        period = self.params.state_period
-
-        def tick() -> None:
-            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
-                return
-            self._state_update(node_id)
-            self.ctx.sim.schedule(period, tick)
-
-        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
-
-    def _state_update(self, node_id: int) -> None:
-        availability = self.ctx.availability_of(node_id)
-        record = StateRecord(node_id, availability.copy(), self.ctx.sim.now)
-        try:
-            path = inscan_path(
-                self.overlay, self.tables, node_id, self.ctx.normalize(availability)
-            )
-        except (RoutingError, KeyError):
-            return
-        self.ctx.send_path(
-            "state-update", path, self._deliver_state, path[-1], record
-        )
-
-    def _deliver_state(self, duty: int, record: StateRecord) -> None:
-        cache = self.caches.get(duty)
-        if cache is not None:
-            cache.put(record)
 
     # ------------------------------------------------------------------
     def submit_query(
@@ -103,43 +53,37 @@ class RandomWalkProtocol(DiscoveryProtocol):
         requester: int,
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
-        demand = np.asarray(demand, dtype=np.float64)
+        rt = self.lifecycle.begin(demand, requester, callback)
         try:
             path = inscan_path(
-                self.overlay, self.tables, requester, self.ctx.normalize(demand)
+                self.overlay, self.tables, requester, self.ctx.normalize(rt.demand)
             )
         except (RoutingError, KeyError):
-            callback([], 0)
+            self.lifecycle.finalize(rt)
             return
-        messages = len(path) - 1
+        rt.messages += len(path) - 1
         self.ctx.send_path(
-            "duty-query", path,
-            self._on_step, path[-1], demand, self.walk_hops, [], messages, callback,
+            "duty-query", path, self._on_step, rt.qid, path[-1], self.walk_hops
         )
 
-    def _on_step(
-        self,
-        me: int,
-        demand: np.ndarray,
-        hops_left: int,
-        found: list[StateRecord],
-        messages: int,
-        callback: Callable[[list[StateRecord], int], None],
-    ) -> None:
+    def _on_step(self, qid: int, me: int, hops_left: int) -> None:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
+            return
         cache = self.caches.get(me)
         if cache is not None and len(cache):
-            # ``found`` holds one record per owner (each cache is owner-keyed
-            # and every scan excludes the owners already found).
-            need = self.params.delta - len(found)
+            # ``rt.found`` holds one record per owner (each cache is
+            # owner-keyed and every scan excludes the owners already found).
+            need = self.params.delta - len(rt.found)
             if need > 0:
-                found.extend(
+                rt.found.extend(
                     cache.qualified(
-                        demand, self.ctx.sim.now, limit=need,
-                        exclude={r.owner for r in found},
+                        rt.demand, self.ctx.sim.now, limit=need,
+                        exclude={r.owner for r in rt.found},
                     )
                 )
-        if hops_left <= 0 or len(found) >= self.params.delta:
-            callback(found, messages)
+        if hops_left <= 0 or len(rt.found) >= self.params.delta:
+            self.lifecycle.finalize(rt)
             return
         candidates: list[int] = []
         if me in self.overlay:
@@ -147,9 +91,9 @@ class RandomWalkProtocol(DiscoveryProtocol):
                 candidates.extend(self.overlay.directional_neighbors(me, dim, +1))
         nxt = self.ctx.choice(candidates)
         if nxt is None:
-            callback(found, messages)
+            self.lifecycle.finalize(rt)
             return
+        rt.messages += 1
         self.ctx.send(
-            "walk-query", me, nxt,
-            self._on_step, nxt, demand, hops_left - 1, found, messages + 1, callback,
+            "walk-query", me, nxt, self._on_step, qid, nxt, hops_left - 1
         )

@@ -94,9 +94,8 @@ class ProtocolContext:
 
     def charge_local(self, kind: str, node_id: int, n: int = 1) -> None:
         """Charge messages without scheduling delivery (in-process bursts
-        such as the diffusion tree expansion)."""
-        for _ in range(n):
-            self.traffic.charge(kind, node_id)
+        such as the diffusion tree expansion or a query flood)."""
+        self.traffic.charge(kind, node_id, n)
 
     def _deliver(self, dst: int, handler: Callable[..., None], args: tuple) -> None:
         if not self.is_alive(dst):

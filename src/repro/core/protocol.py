@@ -13,14 +13,15 @@ node (self-chaining timers that stop when the node churns out):
 
 The factory :func:`make_protocol` builds every protocol evaluated in §IV:
 ``sid``, ``hid``, ``sid+sos``, ``hid+sos``, ``sid+vd``, plus the baselines
-(``newscast``, ``khdn``, ``randomwalk``) from :mod:`repro.baselines`.
+(``newscast``, ``khdn-can``, ``randomwalk-can``, ``mercury``,
+``inscan-rq``) from :mod:`repro.baselines` — see ``docs/baselines.md``.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -29,8 +30,9 @@ from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
 from repro.core.diffusion import DiffusionEngine
+from repro.core.lifecycle import LifecycleStats, QueryLifecycle, submit_batch
 from repro.core.pilist import PIList
-from repro.core.query import QueryEngine, QueryParams, submit_batch
+from repro.core.query import QueryEngine, QueryParams
 from repro.core.state import StateCache, StateRecord
 
 __all__ = [
@@ -43,9 +45,19 @@ __all__ = [
 
 
 class DiscoveryProtocol(abc.ABC):
-    """What the SOC runner needs from a resource-discovery protocol."""
+    """What the SOC runner needs from a resource-discovery protocol.
+
+    Every concrete protocol owns a :class:`~repro.core.lifecycle.
+    QueryLifecycle` (assigned to ``self.lifecycle`` in its constructor)
+    and routes all ``submit_query`` / ``submit_many`` work through it, so
+    queries resolve exactly once even when churn swallows a chain — the
+    invariant batched submission and the churn campaigns rely on.
+    """
 
     name: str = "abstract"
+    #: The shared requester-side query machinery; concrete protocols
+    #: assign it in their constructor.
+    lifecycle: Optional[QueryLifecycle] = None
 
     @abc.abstractmethod
     def bootstrap(self, node_ids: list[int]) -> None:
@@ -83,6 +95,17 @@ class DiscoveryProtocol(abc.ABC):
         submit_batch(
             lambda d, cb: self.submit_query(d, requester, cb), demands, callback
         )
+
+    def query_stats(self) -> LifecycleStats:
+        """Lifetime query counters (started / completed / timed out).
+
+        An introspection snapshot for tests and tooling; the runner's
+        live timeout-failure accounting hangs off
+        ``lifecycle.on_expire`` instead (one ratio-tracker tick per
+        expired query)."""
+        if self.lifecycle is None:
+            return LifecycleStats(0, 0, 0)
+        return self.lifecycle.stats()
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +163,7 @@ class PIDCANProtocol(DiscoveryProtocol):
             ctx, self.overlay, self.tables, self.caches, self.pilists,
             params.query_params(),
         )
+        self.lifecycle = self.queries.lifecycle
 
     # ------------------------------------------------------------------
     # membership
@@ -272,6 +296,7 @@ PROTOCOL_NAMES = (
     "khdn-can",
     "randomwalk-can",
     "mercury",
+    "inscan-rq",
 )
 
 
@@ -313,4 +338,8 @@ def make_protocol(
         from repro.baselines.mercury import MercuryProtocol
 
         return MercuryProtocol(ctx, base, **baseline_kwargs)
+    if key == "inscan-rq":
+        from repro.baselines.inscan_rq import InscanRQProtocol
+
+        return InscanRQProtocol(ctx, base, **baseline_kwargs)
     raise ValueError(f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}")

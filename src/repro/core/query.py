@@ -16,7 +16,9 @@ Algorithms 3-5:
 
 The requester accumulates ϕ notifications and finalizes on the explicit
 query-end message or a timeout (needed under churn, where a chain can die
-with a relaying node).  With Slack-on-Submission the first attempt runs on
+with a relaying node); the runtime registry, failsafe scheduling and
+exactly-once resolution live in the shared
+:mod:`repro.core.lifecycle` layer.  With Slack-on-Submission the first attempt runs on
 the slacked vector e′ and a failed attempt retries once with the original
 ``e`` — the paper's "twice resource query overhead".
 
@@ -45,8 +47,8 @@ SoS retry re-runs the chain and keeps accumulating into the same counter
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -54,45 +56,12 @@ from repro.can.inscan import IndexPointerTable, inscan_path
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
+from repro.core.lifecycle import QueryLifecycle, QueryRuntime, submit_batch
 from repro.core.pilist import PIList
 from repro.core.sos import slack_expectation
 from repro.core.state import StateCache, StateRecord
-from repro.sim.engine import EventHandle
 
 __all__ = ["QueryEngine", "QueryRuntime", "QueryParams", "submit_batch"]
-
-
-def submit_batch(
-    submit: Callable[[np.ndarray, Callable[[list["StateRecord"], int], None]], object],
-    demands: Sequence[np.ndarray],
-    callback: Callable[[list[tuple[list["StateRecord"], int]]], None],
-) -> list:
-    """Shared fan-out/fan-in for batched query submission.
-
-    Calls ``submit(demand, one_query_callback)`` once per demand;
-    ``callback(results)`` fires exactly once after every query finalizes,
-    with ``results[i] = (records, messages)`` in submission order.  Returns
-    whatever each ``submit`` returned (qids for the engine, ``None`` for
-    protocols).  Used by :meth:`QueryEngine.submit_many` and the
-    ``DiscoveryProtocol.submit_many`` default — keep the aggregation in one
-    place."""
-    batch = [np.asarray(d, dtype=np.float64) for d in demands]
-    if not batch:
-        callback([])
-        return []
-    results: list[Optional[tuple[list[StateRecord], int]]] = [None] * len(batch)
-    pending = {"n": len(batch)}
-
-    def one_done(i: int, records: list[StateRecord], messages: int) -> None:
-        results[i] = (records, messages)
-        pending["n"] -= 1
-        if pending["n"] == 0:
-            callback(results)  # type: ignore[arg-type]
-
-    return [
-        submit(d, lambda r, m, _i=i: one_done(_i, r, m))
-        for i, d in enumerate(batch)
-    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,22 +76,6 @@ class QueryParams:
     vd: bool = False  # extra virtual dimension [27]
     timeout: float = 60.0  # requester-side query timeout (churn safety)
     max_chain_hops: int = 64  # hard cap on one query's message chain
-
-
-@dataclass
-class QueryRuntime:
-    """Requester-side bookkeeping for one task's query."""
-
-    qid: int
-    requester: int
-    demand: np.ndarray  # original e(t)
-    callback: Callable[[list[StateRecord], int], None]
-    v: np.ndarray = None  # type: ignore[assignment]  # current query vector
-    found: list[StateRecord] = field(default_factory=list)
-    messages: int = 0
-    finalized: bool = False
-    sos_attempted: bool = False
-    timeout_handle: Optional[EventHandle] = None
 
 
 class QueryEngine:
@@ -143,8 +96,13 @@ class QueryEngine:
         self.caches = caches
         self.pilists = pilists
         self.params = params
-        self._active: dict[int, QueryRuntime] = {}
-        self._next_qid = 0
+        # The shared requester-side machinery: runtime registry, failsafe
+        # timeouts, exactly-once resolution.  The hook routes a firing
+        # failsafe through the SoS retry decision instead of expiring
+        # immediately.
+        self.lifecycle = QueryLifecycle(
+            ctx, params.timeout, on_timeout=self._on_timeout
+        )
 
     # ------------------------------------------------------------------
     # public entry point
@@ -160,24 +118,12 @@ class QueryEngine:
         ``callback(records, messages)`` fires exactly once with the deduped
         qualified records (possibly empty = failed task).
         """
-        rt = QueryRuntime(
-            qid=self._next_qid,
-            requester=requester,
-            demand=np.asarray(demand, dtype=np.float64),
-            callback=callback,
-        )
-        self._next_qid += 1
-        self._active[rt.qid] = rt
-        rt.timeout_handle = self.ctx.sim.schedule(
-            self.params.timeout, self._on_timeout, rt.qid
-        )
+        rt = self.lifecycle.begin(demand, requester, callback)
         if self.params.sos:
             rt.v = slack_expectation(
                 rt.demand, self.ctx.cmax, self.ctx.rng, self.params.sos_bias
             )
             rt.sos_attempted = True
-        else:
-            rt.v = rt.demand
         self._launch(rt)
         return rt.qid
 
@@ -198,7 +144,7 @@ class QueryEngine:
         )
 
     def active_queries(self) -> int:
-        return len(self._active)
+        return self.lifecycle.active_queries()
 
     # ------------------------------------------------------------------
     # phase 1: duty-query routing (Algorithm 3)
@@ -211,23 +157,30 @@ class QueryEngine:
             point = np.append(point, self.ctx.rng.uniform())
         return point
 
-    def _launch(self, rt: QueryRuntime) -> None:
+    def _launch(self, rt: QueryRuntime, timed_out: bool = False) -> None:
+        """Start (or re-start, for SoS) the query chain.
+
+        ``timed_out`` records how we got here: a launch that fails
+        synchronously during a failsafe-triggered retry resolves through
+        :meth:`QueryLifecycle.expire`, keeping the ``query_timeouts``
+        attribution honest for the ``+sos`` variants under churn.
+        """
         if not self.ctx.is_alive(rt.requester):
-            self._finalize(rt)
+            self._resolve(rt, timed_out)
             return
         point = self._query_point(rt.v)
         try:
             path = inscan_path(self.overlay, self.tables, rt.requester, point)
         except (RoutingError, KeyError):
             # Overlay under repair (churn); the query is lost.
-            self._finalize(rt)
+            self._resolve(rt, timed_out)
             return
         rt.messages += max(0, len(path) - 1)
         self.ctx.send_path("duty-query", path, self._on_duty, rt.qid, path[-1])
 
     def _on_duty(self, qid: int, duty: int) -> None:
-        rt = self._active.get(qid)
-        if rt is None or rt.finalized:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
             return
         now = self.ctx.sim.now
         delta = self.params.delta
@@ -281,8 +234,8 @@ class QueryEngine:
         found_owners: set[int],
         hops: int,
     ) -> None:
-        rt = self._active.get(qid)
-        if rt is None or rt.finalized:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
             return
         if hops > self.params.max_chain_hops:
             self._send_end(me, rt)
@@ -339,8 +292,8 @@ class QueryEngine:
         found_owners: set[int],
         hops: int,
     ) -> None:
-        rt = self._active.get(qid)
-        if rt is None or rt.finalized:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
             return
         if hops > self.params.max_chain_hops:
             self._send_end(me, rt)
@@ -385,24 +338,22 @@ class QueryEngine:
         self.ctx.send("query-end", src, rt.requester, self._on_end, rt.qid)
 
     def _on_found(self, qid: int, phi: list[StateRecord]) -> None:
-        rt = self._active.get(qid)
-        if rt is None or rt.finalized:
+        rt = self.lifecycle.get(qid)
+        if rt is None:
             return
         rt.found.extend(phi)
 
     def _on_end(self, qid: int) -> None:
-        rt = self._active.get(qid)
+        rt = self.lifecycle.get(qid)
         if rt is None:
             return
-        self._maybe_retry_or_finalize(rt)
+        self._maybe_retry_or_finalize(rt, timed_out=False)
 
-    def _on_timeout(self, qid: int) -> None:
-        rt = self._active.get(qid)
-        if rt is None or rt.finalized:
-            return
-        self._maybe_retry_or_finalize(rt)
+    def _on_timeout(self, rt: QueryRuntime) -> None:
+        """Lifecycle hook: the failsafe fired while the query is live."""
+        self._maybe_retry_or_finalize(rt, timed_out=True)
 
-    def _maybe_retry_or_finalize(self, rt: QueryRuntime) -> None:
+    def _maybe_retry_or_finalize(self, rt: QueryRuntime, timed_out: bool) -> None:
         if rt.finalized:
             return
         if not rt.found and self.params.sos and rt.sos_attempted:
@@ -410,20 +361,13 @@ class QueryEngine:
             # re-conduct the search once (§III-C last paragraph).
             rt.sos_attempted = False
             rt.v = rt.demand
-            if rt.timeout_handle is not None:
-                rt.timeout_handle.cancel()
-            rt.timeout_handle = self.ctx.sim.schedule(
-                self.params.timeout, self._on_timeout, rt.qid
-            )
-            self._launch(rt)
+            self.lifecycle.restart_timeout(rt)
+            self._launch(rt, timed_out)
             return
-        self._finalize(rt)
+        self._resolve(rt, timed_out)
 
-    def _finalize(self, rt: QueryRuntime) -> None:
-        if rt.finalized:
-            return
-        rt.finalized = True
-        if rt.timeout_handle is not None:
-            rt.timeout_handle.cancel()
-        self._active.pop(rt.qid, None)
-        rt.callback(rt.found, rt.messages)
+    def _resolve(self, rt: QueryRuntime, timed_out: bool) -> None:
+        if timed_out:
+            self.lifecycle.expire(rt)
+        else:
+            self.lifecycle.finalize(rt)

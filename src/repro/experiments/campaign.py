@@ -63,7 +63,12 @@ SPEC_FILENAME = "campaign.json"
 
 #: Metrics aggregated in campaign summaries (keys of the stored
 #: ``metrics`` section; see ``docs/experiments.md`` for the schema).
-SUMMARY_METRICS = ("t_ratio", "f_ratio", "fairness", "per_node_msg_cost")
+#: ``query_timeouts`` surfaces each protocol's churn-induced timeout
+#: failures next to its success ratios; documents persisted before the
+#: metric existed simply omit the column.
+SUMMARY_METRICS = (
+    "t_ratio", "f_ratio", "fairness", "per_node_msg_cost", "query_timeouts"
+)
 
 
 def _slug(text: str) -> str:

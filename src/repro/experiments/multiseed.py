@@ -67,6 +67,7 @@ class MultiSeedResult:
             "msg_per_node": lambda r: r.per_node_msg_cost,
             "placement_fairness": lambda r: r.balance.placement_fairness,
             "hotspot_share": lambda r: r.balance.hotspot_share,
+            "query_timeouts": lambda r: float(r.query_timeouts),
         }.get(name)
         if getter is None:
             raise ValueError(f"unknown metric {name!r}")
@@ -75,7 +76,10 @@ class MultiSeedResult:
     def summary(self) -> dict[str, MetricStats]:
         return {
             name: self.metric(name)
-            for name in ("t_ratio", "f_ratio", "fairness", "msg_per_node")
+            for name in (
+                "t_ratio", "f_ratio", "fairness", "msg_per_node",
+                "query_timeouts",
+            )
         }
 
 
@@ -93,11 +97,15 @@ def run_seeds(
 
 def stats_from_metric_docs(
     metric_docs: Sequence[Mapping[str, float]],
-    names: Sequence[str] = ("t_ratio", "f_ratio", "fairness", "per_node_msg_cost"),
+    names: Sequence[str] = (
+        "t_ratio", "f_ratio", "fairness", "per_node_msg_cost", "query_timeouts"
+    ),
 ) -> dict[str, MetricStats]:
     """Aggregate stored ``metrics`` sections (one per replica, e.g. the
     seeds of one campaign cell group) into :class:`MetricStats` — the
-    persisted-document twin of :meth:`MultiSeedResult.summary`."""
+    persisted-document twin of :meth:`MultiSeedResult.summary`.  A name
+    missing from any document (e.g. ``query_timeouts`` in pre-PR-3
+    documents) is skipped rather than erroring."""
     if not metric_docs:
         raise ValueError("need at least one metrics document")
     return {

@@ -55,7 +55,8 @@ def series_table(
 
 
 def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> str:
-    """Final T-Ratio / F-Ratio / fairness / traffic per protocol."""
+    """Final T-Ratio / F-Ratio / fairness / traffic / timeout failures
+    per protocol."""
     lines = []
     if title:
         lines.append(title)
@@ -66,6 +67,7 @@ def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> s
         + "fairness".rjust(9)
         + "msg/node".rjust(10)
         + "tasks".rjust(8)
+        + "q-t/o".rjust(7)
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -77,6 +79,7 @@ def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> s
             + _fmt(res.fairness)
             + f"{res.per_node_msg_cost:10.1f}"
             + f"{res.generated:8d}"
+            + f"{res.query_timeouts:7d}"
         )
     return "\n".join(lines)
 

@@ -88,6 +88,10 @@ class SimulationResult:
     query_latency: LatencyReport
     efficiencies: list[float] = field(repr=False, default_factory=list)
     wall_clock_s: float = 0.0
+    #: Queries resolved by the requester-side failsafe timeout (chains
+    #: lost to churn) — the explicit-failure path that keeps every
+    #: protocol's ``submit_many`` from hanging.
+    query_timeouts: int = 0
 
     @property
     def t_ratio(self) -> float:
@@ -112,6 +116,7 @@ class SimulationResult:
             "generated": float(self.generated),
             "finished": float(self.finished),
             "failed": float(self.failed),
+            "query_timeouts": float(self.query_timeouts),
         }
 
 
@@ -169,6 +174,10 @@ class SOCSimulation:
         self.protocol = make_protocol(
             config.protocol, self.ctx, config.pidcan, **config.protocol_kwargs
         )
+        if self.protocol.lifecycle is not None:
+            # Timeout-failure accounting: each query resolved by the
+            # protocol's failsafe (chain lost to churn) counts exactly once.
+            self.protocol.lifecycle.on_expire = lambda rt: self.ratios.on_query_timeout()
         self.protocol.bootstrap(sorted(self._alive))
 
         # --- workload ---------------------------------------------------
@@ -480,4 +489,5 @@ class SOCSimulation:
             query_latency=self.latency.report(),
             efficiencies=list(self._efficiencies),
             wall_clock_s=wall,
+            query_timeouts=self.ratios.query_timeouts,
         )

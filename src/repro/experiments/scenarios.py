@@ -28,6 +28,8 @@ __all__ = [
     "FIG567_PROTOCOLS",
     "BURST_PROTOCOLS",
     "CHURN_DEGREES",
+    "CHURN_SWEEP_PROTOCOLS",
+    "CHURN_SWEEP_DEGREES",
     "scalability_populations",
 ]
 
@@ -51,6 +53,26 @@ CHURN_DEGREES = (0.0, 0.25, 0.50, 0.75, 0.95)
 #: variants against the replication and unstructured families under a
 #: many-concurrent-queries regime.
 BURST_PROTOCOLS = ("hid-can", "sid-can", "khdn-can", "newscast")
+
+#: The churn comparison grid runs the full protocol axis — one
+#: representative of every family, including the previously timeout-less
+#: baselines (randomwalk/khdn/mercury) — under Fig. 8-style dynamic
+#: membership.  Only possible because every protocol now shares the
+#: requester-side query lifecycle (``repro.core.lifecycle``): a chain
+#: lost to churn resolves as an explicit timeout failure instead of
+#: hanging batched submission.
+CHURN_SWEEP_PROTOCOLS = (
+    "hid-can",
+    "sid-can",
+    "newscast",
+    "khdn-can",
+    "randomwalk-can",
+    "mercury",
+    "inscan-rq",
+)
+
+#: Dynamic degrees of the churn comparison grid (moderate + extreme).
+CHURN_SWEEP_DEGREES = (0.25, 0.75)
 
 
 def scalability_populations(scale: str, base_n: int | None = None) -> list[int]:
@@ -153,6 +175,33 @@ def fig8_configs(
     return out
 
 
+def churn_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
+    """Churn-hardened protocol comparison (λ=0.5): the full protocol axis
+    × dynamic degree, one cell per (protocol, degree).
+
+    Beyond Fig. 8 (which sweeps churn for HID-CAN only): every baseline
+    runs under the same dynamic membership, and their failsafe-timeout
+    failures are compared through the ``query_timeouts`` metric.
+    """
+    if "churn_degree" in overrides:
+        raise ValueError(
+            "churn sweeps churn_degree; drop the override or exclude churn"
+        )
+    params = {"demand_ratio": 0.5, **overrides}
+    params.pop("protocol", None)
+    params.pop("seed", None)
+    out: dict[str, ExperimentConfig] = {}
+    for degree in CHURN_SWEEP_DEGREES:
+        for protocol in CHURN_SWEEP_PROTOCOLS:
+            out[f"{protocol} @ {degree:.0%}"] = ExperimentConfig.at_scale(
+                scale, protocol=protocol, seed=seed, churn_degree=degree,
+                **params,
+            )
+    return out
+
+
 def burst_configs(
     scale: str = "small",
     seed: int = 42,
@@ -196,6 +245,7 @@ SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
     "fig6": fig6_configs,
     "fig7": fig7_configs,
     "fig8": fig8_configs,
+    "churn": churn_configs,
     "burst": burst_configs,
     "table3": table3_configs,
 }
@@ -256,6 +306,12 @@ def fig8(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     return _run_grid(fig8_configs(scale, seed))
 
 
+def churn(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
+    """Churn-hardened comparison across the full protocol axis (see
+    :func:`churn_configs`)."""
+    return _run_grid(churn_configs(scale, seed))
+
+
 def burst(
     scale: str = "small", seed: int = 42, burst_factor: float = 8.0
 ) -> dict[str, SimulationResult]:
@@ -275,6 +331,7 @@ SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "fig6": fig6,
     "fig7": fig7,
     "fig8": fig8,
+    "churn": churn,
     "burst": burst,
     "table3": table3,
 }

@@ -49,6 +49,7 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             "evicted": result.evicted,
             "recovered": result.recovered,
             "peak_population": result.peak_population,
+            "query_timeouts": result.query_timeouts,
         },
         "balance": result.balance.as_dict(),
         "query_latency": result.query_latency.as_dict(),

@@ -4,6 +4,13 @@
   generated up to ``t`` (the resource matching rate's complement);
 - **T-Ratio(t)** — tasks finished over tasks generated up to ``t`` (the
   implicit contention indicator: fewer contended nodes → faster finishes).
+
+Timeout-failure accounting: ``query_timeouts`` counts queries resolved by
+the requester-side failsafe (a chain lost to churn) rather than by their
+own chain.  The runner wires it to the protocol lifecycle's ``on_expire``
+hook, so each timed-out query is counted exactly once — a timed-out query
+that returned no usable records additionally becomes a failed task through
+the normal empty-result path (it contributes to F-Ratio), never twice.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ class RatioTracker:
         self.failed = 0
         self.placed = 0
         self.evicted = 0
+        self.query_timeouts = 0
 
     # ------------------------------------------------------------------
     def on_generated(self) -> None:
@@ -36,6 +44,9 @@ class RatioTracker:
 
     def on_evicted(self) -> None:
         self.evicted += 1
+
+    def on_query_timeout(self) -> None:
+        self.query_timeouts += 1
 
     # ------------------------------------------------------------------
     def t_ratio(self) -> float:

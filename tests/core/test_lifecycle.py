@@ -1,0 +1,138 @@
+"""Tests for the shared requester-side query lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import QueryLifecycle, submit_batch
+from tests.core.helpers import Harness
+
+
+def make_lifecycle(timeout=30.0, **kwargs):
+    h = Harness(n=8, dims=2, seed=0)
+    return h, QueryLifecycle(h.ctx, timeout, **kwargs)
+
+
+def test_begin_registers_and_assigns_increasing_qids():
+    h, lc = make_lifecycle()
+    a = lc.begin(np.array([0.1, 0.2]), 0, lambda r, m: None)
+    b = lc.begin(np.array([0.3, 0.4]), 1, lambda r, m: None)
+    assert b.qid == a.qid + 1
+    assert lc.active_queries() == 2
+    assert lc.get(a.qid) is a
+    assert a.v is a.demand  # default query vector is the demand itself
+
+
+def test_finalize_fires_callback_exactly_once():
+    h, lc = make_lifecycle()
+    calls = []
+    rt = lc.begin(np.array([0.1, 0.2]), 0, lambda r, m: calls.append((r, m)))
+    rt.messages = 7
+    lc.finalize(rt)
+    lc.finalize(rt)  # idempotent
+    assert calls == [([], 7)]
+    assert lc.get(rt.qid) is None
+    assert lc.active_queries() == 0
+    assert lc.stats().completed == 1
+    assert lc.stats().timed_out == 0
+
+
+def test_timeout_expires_live_query_with_partial_results():
+    h, lc = make_lifecycle(timeout=10.0)
+    calls = []
+    rt = lc.begin(np.array([0.5, 0.5]), 0, lambda r, m: calls.append((r, m)))
+    rec = h.plant_record(0, owner=3, availability=[0.9, 0.9])
+    rt.found.append(rec)
+    rt.messages = 2
+    h.sim.run(until=100.0)
+    assert calls == [([rec], 2)]
+    assert rt.timed_out
+    stats = lc.stats()
+    assert (stats.started, stats.completed, stats.timed_out) == (1, 0, 1)
+
+
+def test_timeout_counted_exactly_once_even_with_long_run():
+    h, lc = make_lifecycle(timeout=10.0)
+    calls = []
+    expired = []
+    lc.on_expire = expired.append
+    lc.begin(np.array([0.5, 0.5]), 0, lambda r, m: calls.append(m))
+    h.sim.run(until=1000.0)
+    assert len(calls) == 1
+    assert len(expired) == 1
+    assert lc.stats().timed_out == 1
+
+
+def test_finalized_query_never_times_out():
+    h, lc = make_lifecycle(timeout=10.0)
+    calls = []
+    rt = lc.begin(np.array([0.5, 0.5]), 0, lambda r, m: calls.append(m))
+    lc.finalize(rt)
+    h.sim.run(until=100.0)
+    assert len(calls) == 1
+    assert lc.stats().timed_out == 0
+
+
+def test_restart_timeout_postpones_expiry():
+    h, lc = make_lifecycle(timeout=10.0)
+    calls = []
+    rt = lc.begin(np.array([0.5, 0.5]), 0, lambda r, m: calls.append(m))
+    h.sim.run(until=8.0)
+    lc.restart_timeout(rt)
+    h.sim.run(until=15.0)  # past the original deadline, before the new one
+    assert calls == []
+    h.sim.run(until=100.0)
+    assert len(calls) == 1
+
+
+def test_on_timeout_hook_overrides_default_expiry():
+    h = Harness(n=8, dims=2, seed=0)
+    retried = []
+
+    def hook(rt):
+        if not retried:
+            retried.append(rt.qid)
+            lc.restart_timeout(rt)  # first deadline: retry
+        else:
+            lc.expire(rt)  # second deadline: give up
+
+    lc = QueryLifecycle(h.ctx, 10.0, on_timeout=hook)
+    calls = []
+    lc.begin(np.array([0.5, 0.5]), 0, lambda r, m: calls.append(m))
+    h.sim.run(until=1000.0)
+    assert retried  # the hook intervened once
+    assert len(calls) == 1
+    assert lc.stats().timed_out == 1
+
+
+def test_rejects_non_positive_timeout():
+    h = Harness(n=4, dims=2, seed=0)
+    with pytest.raises(ValueError, match="timeout"):
+        QueryLifecycle(h.ctx, 0.0)
+
+
+# ----------------------------------------------------------------------
+# batched fan-in
+# ----------------------------------------------------------------------
+def test_submit_batch_orders_results_by_submission():
+    done = {}
+
+    def submit(demand, cb):
+        # resolve out of order: the fan-in must still order by index
+        done[float(demand[0])] = cb
+        return float(demand[0])
+
+    results = []
+    ids = submit_batch(
+        submit, [np.array([1.0]), np.array([2.0])], results.append
+    )
+    assert ids == [1.0, 2.0]
+    done[2.0]([], 5)
+    assert results == []  # not complete yet
+    done[1.0]([], 3)
+    assert results == [[([], 3), ([], 5)]]
+
+
+def test_submit_batch_empty_fires_immediately():
+    results = []
+    assert submit_batch(lambda d, cb: None, [], results.append) == []
+    assert results == [[]]

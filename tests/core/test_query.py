@@ -132,9 +132,9 @@ def test_sos_first_attempt_uses_slacked_vector():
     seen_vectors = []
     original_launch = engine._launch
 
-    def spy(rt):
+    def spy(rt, timed_out=False):
         seen_vectors.append(rt.v.copy())
-        original_launch(rt)
+        original_launch(rt, timed_out)
 
     engine._launch = spy
     run_query(h, engine, [0.2, 0.2])

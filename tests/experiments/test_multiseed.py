@@ -46,7 +46,9 @@ def test_unknown_metric_rejected(replicas):
 
 def test_summary_covers_headline_metrics(replicas):
     summary = replicas.summary()
-    assert set(summary) == {"t_ratio", "f_ratio", "fairness", "msg_per_node"}
+    assert set(summary) == {
+        "t_ratio", "f_ratio", "fairness", "msg_per_node", "query_timeouts"
+    }
 
 
 def test_metric_stats_single_value():

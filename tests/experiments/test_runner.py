@@ -23,7 +23,7 @@ def run(**overrides):
 @pytest.mark.parametrize(
     "protocol",
     ["hid-can", "sid-can", "hid-can+sos", "sid-can+vd", "newscast",
-     "khdn-can", "randomwalk-can"],
+     "khdn-can", "randomwalk-can", "mercury", "inscan-rq"],
 )
 def test_every_protocol_completes_a_run(protocol):
     res = run(protocol=protocol)
@@ -154,7 +154,22 @@ def test_gossip_cmax_mode_runs():
 def test_summary_shape():
     res = run(protocol="hid-can")
     summary = res.summary()
-    assert set(summary) >= {"t_ratio", "f_ratio", "fairness", "per_node_msg_cost"}
+    assert set(summary) >= {
+        "t_ratio", "f_ratio", "fairness", "per_node_msg_cost", "query_timeouts"
+    }
+
+
+@pytest.mark.parametrize("protocol", ["randomwalk-can", "khdn-can", "mercury"])
+def test_baselines_survive_churn_with_timeout_accounting(protocol):
+    """The ROADMAP hang repro at runner level: the once-timeout-less
+    baselines must finish a churn run, with every timed-out query counted
+    once (the failed/finished invariant stays intact)."""
+    res = run(protocol=protocol, churn_degree=0.75)
+    assert res.generated > 0
+    assert res.finished + res.failed <= res.generated
+    assert res.query_timeouts >= 0
+    # expired queries can't outnumber the queries submitted
+    assert res.query_timeouts <= res.generated
 
 
 def test_failsafe_prevents_task_leaks():

@@ -24,7 +24,8 @@ from repro.experiments.scenarios import (
 
 def test_scenario_registry_covers_every_figure_and_table():
     assert set(SCENARIOS) == {
-        "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "burst", "table3"
+        "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "churn", "burst",
+        "table3",
     }
 
 
@@ -71,6 +72,27 @@ def test_burst_scenario_multiplies_arrivals():
     import inspect
 
     assert "burst_factor" in inspect.signature(burst).parameters
+
+
+def test_churn_grid_covers_full_protocol_axis():
+    """The churn scenario sweeps (protocol × dynamic degree) across every
+    protocol family — including the once-timeout-less baselines."""
+    from repro.core.protocol import PROTOCOL_NAMES
+    from repro.experiments.scenarios import (
+        CHURN_SWEEP_DEGREES,
+        CHURN_SWEEP_PROTOCOLS,
+        churn_configs,
+    )
+
+    assert set(CHURN_SWEEP_PROTOCOLS) <= set(PROTOCOL_NAMES)
+    for must_have in ("randomwalk-can", "khdn-can", "mercury", "inscan-rq"):
+        assert must_have in CHURN_SWEEP_PROTOCOLS
+    grid = churn_configs("tiny")
+    assert len(grid) == len(CHURN_SWEEP_PROTOCOLS) * len(CHURN_SWEEP_DEGREES)
+    assert {cfg.protocol for cfg in grid.values()} == set(CHURN_SWEEP_PROTOCOLS)
+    assert {cfg.churn_degree for cfg in grid.values()} == set(CHURN_SWEEP_DEGREES)
+    with pytest.raises(ValueError, match="churn_degree"):
+        churn_configs("tiny", churn_degree=0.5)
 
 
 # ----------------------------------------------------------------------

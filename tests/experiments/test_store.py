@@ -30,6 +30,12 @@ def test_result_to_dict_shape(result):
     assert "t_ratio" in doc["series"]
     assert len(doc["series"]["t_ratio"]["times"]) == 2
     assert doc["balance"]["placements"] == result.balance.placements
+    # timeout-failure accounting reaches the persisted document (and via
+    # SUMMARY_METRICS the campaign report)
+    assert doc["metrics"]["query_timeouts"] == result.query_timeouts
+    from repro.experiments.campaign import SUMMARY_METRICS
+
+    assert "query_timeouts" in SUMMARY_METRICS
 
 
 def test_roundtrip(tmp_path, result):

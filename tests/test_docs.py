@@ -62,6 +62,7 @@ def test_doc_files_exist():
     assert (REPO_ROOT / "README.md").exists()
     assert (REPO_ROOT / "docs" / "architecture.md").exists()
     assert (REPO_ROOT / "docs" / "experiments.md").exists()
+    assert (REPO_ROOT / "docs" / "baselines.md").exists()
 
 
 def test_repro_cli_commands_parse():
@@ -132,6 +133,52 @@ def test_json_fences_are_valid_json():
                 pytest.fail(f"{doc.name}: invalid json fence: {exc}")
             checked += 1
     assert checked >= 1
+
+
+def test_protocol_tables_match_registry():
+    """Protocol names quoted in the README comparison table and the
+    baselines guide must match the registered protocol registry — both
+    directions: no table entry outside the registry, no registered
+    protocol missing from the docs."""
+    from repro.core.protocol import PROTOCOL_NAMES
+
+    readme = (REPO_ROOT / "README.md").read_text()
+    baselines = (REPO_ROOT / "docs" / "baselines.md").read_text()
+
+    # every registered protocol is documented in both places
+    for name in PROTOCOL_NAMES:
+        assert f"`{name}`" in readme, f"README table misses protocol {name}"
+        assert f"`{name}`" in baselines, f"baselines.md misses protocol {name}"
+
+    # every backticked name in a README table row that looks like a
+    # protocol (first column, before the source-paper column) is real
+    table_rows = [
+        line for line in readme.splitlines()
+        if line.startswith("|") and "`" in line and "---" not in line
+    ]
+    assert table_rows, "README protocol table disappeared"
+    quoted = {
+        token
+        for row in table_rows
+        for token in re.findall(r"`([a-z0-9+-]+)`", row.split("|")[1])
+    }
+    unknown = quoted - set(PROTOCOL_NAMES)
+    assert not unknown, f"README table names unregistered protocols: {unknown}"
+
+
+def test_churn_scenario_documented_and_registered():
+    """The churn campaign quickstarts must target a scenario that exists,
+    sweeping protocols that exist."""
+    from repro.core.protocol import PROTOCOL_NAMES
+    from repro.experiments.scenarios import (
+        CHURN_SWEEP_PROTOCOLS,
+        SCENARIO_CONFIGS,
+    )
+
+    assert "churn" in SCENARIO_CONFIGS
+    assert set(CHURN_SWEEP_PROTOCOLS) <= set(PROTOCOL_NAMES)
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--scenarios churn" in readme
 
 
 def test_store_docstring_points_at_real_doc():
