@@ -11,7 +11,7 @@ import pytest
 from repro.can.inscan import build_index_table, inscan_path
 from repro.can.overlay import CANOverlay
 from repro.can.routing import greedy_path
-from repro.cloud.executor import NodeExecutor
+from repro.cloud.engine import HostEngine
 from repro.cloud.tasks import TaskFactory
 from repro.core.state import StateCache, StateRecord
 from tests.conftest import make_overlay
@@ -67,17 +67,18 @@ def test_join_leave_cycle(benchmark):
 @pytest.mark.benchmark(group="micro-executor")
 def test_psm_reshare_under_load(benchmark):
     fac = TaskFactory(0.5, np.random.default_rng(5))
-    ex = NodeExecutor(np.array([25.6, 80.0, 10.0, 240.0, 4096.0]))
+    eng = HostEngine()
+    eng.add_host(0, np.array([25.6, 80.0, 10.0, 240.0, 4096.0]))
     for _ in range(16):
-        ex.place(fac.create(0, 0.0), 0.0)
+        eng.place(0, fac.create(0, 0.0), 0.0)
     clock = {"t": 0.0}
 
     def churn_one_task():
         clock["t"] += 1.0
         task = fac.create(0, clock["t"])
-        ex.place(task, clock["t"])
-        ex.remove(task.task_id, clock["t"])
-        ex.next_completion()
+        eng.place(0, task, clock["t"])
+        eng.remove(0, task.task_id, clock["t"])
+        eng.next_completion(0)
 
     benchmark(churn_one_task)
 

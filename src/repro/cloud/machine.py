@@ -24,7 +24,14 @@ import numpy as np
 
 from repro.cloud.resources import ResourceVector
 
-__all__ = ["MachineConfig", "sample_machine", "CMAX", "CMAX_VECTOR"]
+__all__ = [
+    "MachineConfig",
+    "sample_machine",
+    "sample_machines",
+    "capacity_matrix",
+    "CMAX",
+    "CMAX_VECTOR",
+]
 
 _PROCESSORS = (1, 2, 4, 8)
 _RATES = (1.0, 2.0, 2.4, 3.2)
@@ -75,3 +82,22 @@ def sample_machine(rng: np.random.Generator, net_bandwidth_mbps: float) -> Machi
         disk_size=float(rng.choice(_DISK_SIZES)),
         memory_size=float(rng.choice(_MEM_SIZES)),
     )
+
+
+def sample_machines(
+    rng: np.random.Generator, net_bandwidths_mbps: list[float]
+) -> list[MachineConfig]:
+    """Draw one Table-I configuration per LAN bandwidth entry.
+
+    Stream-compatible with repeated :func:`sample_machine` calls: the
+    draws happen machine-by-machine in the exact same order, so a seeded
+    population is identical whether it was sampled one host at a time
+    (the seed runner) or in one batch (the host-engine runner).
+    """
+    return [sample_machine(rng, bw) for bw in net_bandwidths_mbps]
+
+
+def capacity_matrix(machines: list[MachineConfig]) -> np.ndarray:
+    """``(H, 5)`` capacity vectors ``c_i``, one row per machine — the
+    batch form feeding :meth:`repro.cloud.engine.HostEngine.add_hosts`."""
+    return np.stack([m.capacity.values for m in machines])

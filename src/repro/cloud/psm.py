@@ -22,7 +22,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["VMOverhead", "effective_capacity", "allocate_shares", "aggregate_load"]
+__all__ = [
+    "VMOverhead",
+    "effective_capacity",
+    "effective_capacity_batch",
+    "allocate_shares",
+    "aggregate_load",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +61,21 @@ def effective_capacity(
     frac, flat = overhead.arrays()
     eff = capacity * (1.0 - frac * n_vms) - flat * n_vms
     return np.maximum(eff, 0.0)
+
+
+def effective_capacity_batch(
+    capacities: np.ndarray,
+    n_vms: np.ndarray,
+    overhead: VMOverhead = DEFAULT_OVERHEAD,
+) -> np.ndarray:
+    """Vectorized :func:`effective_capacity`: ``(H, d)`` capacities and a
+    per-host VM-count vector in, ``(H, d)`` effective capacities out.
+    Row ``i`` equals ``effective_capacity(capacities[i], n_vms[i])``
+    bit-for-bit (same elementwise arithmetic, just broadcast)."""
+    frac, flat = overhead.arrays()
+    n = np.asarray(n_vms, dtype=np.float64)[:, None]
+    eff = np.asarray(capacities, dtype=np.float64) * (1.0 - frac * n) - flat * n
+    return np.maximum(eff, 0.0, out=eff)
 
 
 def aggregate_load(expectations: list[np.ndarray]) -> np.ndarray:

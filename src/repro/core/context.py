@@ -26,7 +26,7 @@ class ProtocolContext:
     ----------
     availability_of:
         ``node_id -> availability vector a_i`` evaluated *now* (§II); the
-        runner wires this to the PSM executors.
+        runner wires this to the PSM host engine.
     is_alive:
         membership test honoring churn.
     """

@@ -2,7 +2,8 @@
 
 Wires together every substrate:
 
-- hosts with Table-I machines and PSM executors (:mod:`repro.cloud`),
+- hosts with Table-I machines on the shared vectorized PSM host engine
+  (:mod:`repro.cloud`),
 - the LAN/WAN network model and discrete-event engine (:mod:`repro.sim`),
 - a pluggable discovery protocol (:mod:`repro.core` / :mod:`repro.baselines`),
 - Poisson task arrivals (Table II),
@@ -29,10 +30,16 @@ from typing import Optional
 import numpy as np
 
 from repro.cloud.checkpoint import CheckpointStore
-from repro.cloud.executor import NodeExecutor
-from repro.cloud.machine import CMAX, MachineConfig, sample_machine
+from repro.cloud.engine import HostEngine
+from repro.cloud.machine import (
+    CMAX,
+    MachineConfig,
+    capacity_matrix,
+    sample_machine,
+    sample_machines,
+)
 from repro.cloud.resources import dominates
-from repro.cloud.tasks import Task, TaskFactory
+from repro.cloud.tasks import N_WORK_DIMS, Task, TaskFactory
 from repro.cloud.workload import PoissonWorkload
 from repro.core.aggregation import gossip_aggregate
 from repro.core.context import ProtocolContext
@@ -41,6 +48,7 @@ from repro.core.selection import select_record
 from repro.core.state import StateRecord
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.balance import BalanceReport, PlacementBalance
+from repro.metrics.fairness import EfficiencyAccumulator
 from repro.metrics.latency import LatencyReport, QueryLatency
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.ratios import RatioTracker
@@ -59,13 +67,13 @@ PLACEMENT_MSG_BITS = 8 * 64 * 1024
 
 @dataclass(slots=True)
 class HostNode:
-    """One participating host and its execution state."""
+    """One participating host.  Execution state (resident tasks, shares,
+    availability, predicted completion) lives in the shared
+    :class:`~repro.cloud.engine.HostEngine`, keyed by ``node_id``."""
 
     node_id: int
     machine: MachineConfig
-    executor: NodeExecutor
     alive: bool = True
-    completion_handle: Optional[EventHandle] = None
 
 
 @dataclass
@@ -131,9 +139,14 @@ def run_config(config: ExperimentConfig) -> SimulationResult:
 
 
 class SOCSimulation:
-    """Builds and runs one configured SOC experiment."""
+    """Builds and runs one configured SOC experiment.
 
-    def __init__(self, config: ExperimentConfig):
+    ``engine`` defaults to the vectorized :class:`HostEngine`; tests pass
+    :class:`repro.testing.ReferenceHostEngine` to cross-check the scalar
+    execution substrate under the identical driver.
+    """
+
+    def __init__(self, config: ExperimentConfig, engine=None):
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.sim = Simulator()
@@ -143,22 +156,37 @@ class SOCSimulation:
         self.balance = PlacementBalance()
         self.latency = QueryLatency()
         self.tracer = Tracer(enabled=config.trace_tasks)
+        self.engine = HostEngine() if engine is None else engine
         self.hosts: dict[int, HostNode] = {}
         self._alive: set[int] = set()
         self._next_node_id = 0
         self._peak_population = 0
-        self._efficiencies: list[float] = []
         self._tasks: list[Task] = []
+        #: The single simulator event backing the engine's completion
+        #: calendar, plus the head it was scheduled for.
+        self._completion_handle: Optional[EventHandle] = None
+        self._completion_key: Optional[tuple[float, int, int]] = None
 
-        # --- hosts ---------------------------------------------------
+        # --- hosts (batch-sampled, batch-registered) -------------------
         machine_rng = self.rngs.stream("machines")
-        for _ in range(config.n_nodes):
-            self._create_host(machine_rng)
+        self._machine_rng = machine_rng
+        node_ids = list(range(config.n_nodes))
+        self._next_node_id = config.n_nodes
+        for node_id in node_ids:
+            self.network.add_node(node_id)
+        machines = sample_machines(
+            machine_rng, [self.network.node_bandwidth_mbps(i) for i in node_ids]
+        )
+        capacities = capacity_matrix(machines)
+        self.engine.add_hosts(node_ids, capacities)
+        for node_id, machine in zip(node_ids, machines):
+            self.hosts[node_id] = HostNode(node_id, machine)
+            self._alive.add(node_id)
+        self._peak_population = len(self._alive)
 
         # --- capacity statistics --------------------------------------
-        self.mean_capacity = np.mean(
-            [h.machine.capacity.values for h in self.hosts.values()], axis=0
-        )
+        self.mean_capacity = capacities.mean(axis=0)
+        self.efficiency = EfficiencyAccumulator(self.mean_capacity[:N_WORK_DIMS])
         self.cmax = self._resolve_cmax()
 
         # --- protocol --------------------------------------------------
@@ -195,7 +223,6 @@ class SOCSimulation:
         # --- churn --------------------------------------------------------
         if config.churn_degree > 0:
             self._churn_rng = self.rngs.stream("churn")
-            self._machine_rng = machine_rng
             rate = config.churn_degree * config.n_nodes / config.churn_lifetime
             self._churn_interval = 1.0 / rate
             self.sim.schedule(
@@ -211,7 +238,7 @@ class SOCSimulation:
 
         # --- metrics ---------------------------------------------------------
         self.collector = MetricsCollector(
-            self.sim, self.ratios, lambda: self._efficiencies, config.sample_period
+            self.sim, self.ratios, self.efficiency.values, config.sample_period
         )
         self.collector.start()
 
@@ -223,8 +250,8 @@ class SOCSimulation:
         self._next_node_id += 1
         self.network.add_node(node_id)
         machine = sample_machine(machine_rng, self.network.node_bandwidth_mbps(node_id))
-        executor = NodeExecutor(machine.capacity.values)
-        self.hosts[node_id] = HostNode(node_id, machine, executor)
+        self.engine.add_host(node_id, machine.capacity.values)
+        self.hosts[node_id] = HostNode(node_id, machine)
         self._alive.add(node_id)
         self._peak_population = max(self._peak_population, len(self._alive))
         return node_id
@@ -234,10 +261,12 @@ class SOCSimulation:
         return host is not None and host.alive
 
     def _availability_of(self, node_id: int) -> np.ndarray:
-        host = self.hosts[node_id]
-        if not host.alive:
+        # An array-row view of the engine's cached availability matrix:
+        # availability only changes at a host's own scheduling points, so
+        # no progress integration happens on the query path.
+        if not self.is_alive(node_id):
             return np.zeros_like(CMAX)
-        return host.executor.availability(self.sim.now)
+        return self.engine.availability(node_id)
 
     def _resolve_cmax(self) -> np.ndarray:
         if self.config.cmax_mode == "exact":
@@ -255,37 +284,49 @@ class SOCSimulation:
     # ------------------------------------------------------------------
     # task lifecycle
     # ------------------------------------------------------------------
-    def _submit_task(self, task: Task) -> None:
-        self.ratios.on_generated()
-        self._tasks.append(task)
-        self.tracer.emit(self.sim.now, "generated", task.task_id, task.origin)
+    def _dispatch_query(self, task: Task, on_records) -> None:
+        """Run ``task``'s range query with the requester-side failsafe.
 
-        if self.config.local_first:
-            origin = self.hosts[task.origin]
-            if origin.alive and dominates(
-                origin.executor.availability(self.sim.now), task.expectation
-            ):
-                self._admit(task, task.origin)
-                return
-
+        The single home of the timeout convention shared by first
+        submission and checkpoint recovery: a protocol chain lost to churn
+        must not leak the task, so a failsafe fires with an empty result
+        after ``query_failsafe_timeout`` unless the protocol answered
+        first; whichever fires second is a no-op.
+        """
         done = {"fired": False}
-
-        submitted_at = self.sim.now
 
         def on_result(records: list[StateRecord], messages: int) -> None:
             if done["fired"]:
                 return
             done["fired"] = True
             failsafe.cancel()
-            task.query_messages = messages
-            self.latency.observe(self.sim.now - submitted_at, messages)
-            self._on_query_result(task, records)
+            on_records(records, messages)
 
-        # Failsafe: a protocol chain lost to churn must not leak the task.
         failsafe = self.sim.schedule(
             self.config.query_failsafe_timeout, on_result, [], 0
         )
         self.protocol.submit_query(task.expectation, task.origin, on_result)
+
+    def _submit_task(self, task: Task) -> None:
+        self.ratios.on_generated()
+        self._tasks.append(task)
+        self.tracer.emit(self.sim.now, "generated", task.task_id, task.origin)
+
+        if self.config.local_first:
+            if self.is_alive(task.origin) and dominates(
+                self.engine.availability(task.origin), task.expectation
+            ):
+                self._admit(task, task.origin)
+                return
+
+        submitted_at = self.sim.now
+
+        def on_records(records: list[StateRecord], messages: int) -> None:
+            task.query_messages = messages
+            self.latency.observe(self.sim.now - submitted_at, messages)
+            self._on_query_result(task, records)
+
+        self._dispatch_query(task, on_records)
 
     def _on_query_result(self, task: Task, records: list[StateRecord]) -> None:
         if not records:
@@ -331,9 +372,8 @@ class SOCSimulation:
     ) -> None:
         accept = self.is_alive(target)
         if accept and self.config.admission == "strict":
-            host = self.hosts[target]
             accept = dominates(
-                host.executor.availability(self.sim.now), task.expectation
+                self.engine.availability(target), task.expectation
             )
         if not accept:
             if remaining and retries_left > 0:
@@ -346,60 +386,81 @@ class SOCSimulation:
         self._admit(task, target)
 
     def _admit(self, task: Task, target: int) -> None:
-        host = self.hosts[target]
-        host.executor.place(task, self.sim.now)
+        self.engine.place(target, task, self.sim.now)
         task.placed_node = target
         self.ratios.on_placed()
         self.balance.on_place(target)
         self.tracer.emit(self.sim.now, "admitted", task.task_id, target)
-        self._reschedule_completion(host)
+        self._sync_completions()
 
     # ------------------------------------------------------------------
-    # execution events
+    # execution events (the engine's global completion calendar)
     # ------------------------------------------------------------------
-    def _reschedule_completion(self, host: HostNode) -> None:
-        if host.completion_handle is not None:
-            host.completion_handle.cancel()
-            host.completion_handle = None
-        nxt = host.executor.next_completion()
-        if nxt is None:
+    def _sync_completions(self) -> None:
+        """Keep exactly one simulator event armed for the calendar head.
+
+        Any scheduling point on any host may move the globally-earliest
+        completion; re-arming only when the head actually changed keeps
+        simulator-heap churn far below the seed's one-cancel-plus-push per
+        host mutation.
+        """
+        head = self.engine.peek()
+        if head == self._completion_key and self._completion_handle is not None:
             return
-        when, task = nxt
-        host.completion_handle = self.sim.schedule_at(
-            max(when, self.sim.now), self._complete, host.node_id, task.task_id
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        self._completion_key = head
+        if head is None:
+            return
+        when, _host_id, _task_id = head
+        self._completion_handle = self.sim.schedule_at(
+            max(when, self.sim.now), self._fire_completion
         )
 
-    def _complete(self, node_id: int, task_id: int) -> None:
-        host = self.hosts[node_id]
-        host.completion_handle = None
-        task = host.executor.complete(task_id, self.sim.now)
+    def _fire_completion(self) -> None:
+        self._completion_handle = None
+        self._completion_key = None
+        head = self.engine.peek()
+        if head is None:
+            return
+        when, node_id, task_id = head
+        if when > self.sim.now:
+            # The head moved later without a scheduling point in between —
+            # cannot happen today, but re-arming is always safe.
+            self._sync_completions()
+            return
+        task = self.engine.complete(node_id, task_id, self.sim.now)
         self.ratios.on_finished()
         self.balance.on_remove(node_id)
         self.tracer.emit(self.sim.now, "completed", task.task_id, node_id)
-        self._efficiencies.append(task.efficiency(self.mean_capacity))
+        self.efficiency.observe(task.work, task.submit_time, task.finish_time)
         if self.checkpoints is not None:
             self.checkpoints.forget(task_id)
         if task.origin != node_id:
             # completion ack back to the origin (charged, no handler needed)
             self.traffic.charge("completion-ack", node_id)
-        self._reschedule_completion(host)
+        self._sync_completions()
 
     # ------------------------------------------------------------------
     # checkpoint/restart (§VI future work)
     # ------------------------------------------------------------------
     def _checkpoint_tick(self) -> None:
         """Snapshot every running task to its origin's checkpoint archive;
-        one checkpoint transfer message is charged per task."""
+        one checkpoint transfer message is charged per task.  One
+        vectorized progress integration covers the whole population."""
         assert self.checkpoints is not None
         now = self.sim.now
-        for node_id in list(self._alive):
-            executor = self.hosts[node_id].executor
-            if executor.n_running == 0:
+        self.engine.advance_all(now)
+        for node_id in list(self.engine.busy_host_ids()):
+            # Dead hosts keep executing but no longer checkpoint (the seed
+            # convention: the archive lives on the discovery overlay).
+            if not self.is_alive(node_id):
                 continue
-            executor.advance(now)
-            for task in executor.running_tasks():
+            tasks = self.engine.running_tasks(node_id)
+            for task in tasks:
                 self.checkpoints.take(task, now)
-                self.traffic.charge("checkpoint", node_id)
+            self.traffic.charge("checkpoint", node_id, n=len(tasks))
 
     def _recover(self, task: Task) -> None:
         """Roll a killed task back to its snapshot and re-run discovery."""
@@ -408,20 +469,11 @@ class SOCSimulation:
         self.recovered_tasks += 1
         self.tracer.emit(self.sim.now, "recovered", task.task_id, task.origin)
 
-        done = {"fired": False}
-
-        def on_result(records: list[StateRecord], messages: int) -> None:
-            if done["fired"]:
-                return
-            done["fired"] = True
-            failsafe.cancel()
+        def on_records(records: list[StateRecord], messages: int) -> None:
             task.query_messages += messages
             self._on_query_result(task, records)
 
-        failsafe = self.sim.schedule(
-            self.config.query_failsafe_timeout, on_result, [], 0
-        )
-        self.protocol.submit_query(task.expectation, task.origin, on_result)
+        self._dispatch_query(task, on_records)
 
     # ------------------------------------------------------------------
     # churn (Fig. 8)
@@ -450,16 +502,15 @@ class SOCSimulation:
         host.alive = False
         self._alive.discard(node_id)
         if self.config.churn_kills_tasks:
-            if host.completion_handle is not None:
-                host.completion_handle.cancel()
-                host.completion_handle = None
-            for task in host.executor.running_tasks():
-                host.executor.remove(task.task_id, self.sim.now)
+            evicted = self.engine.evict_all(node_id, self.sim.now)
+            self.balance.on_remove_many(node_id, len(evicted))
+            for task in evicted:
                 self.ratios.on_evicted()
-                self.balance.on_remove(node_id)
                 self.tracer.emit(self.sim.now, "evicted", task.task_id, node_id)
                 if self.checkpoints is not None and self.is_alive(task.origin):
                     self._recover(task)
+            if evicted:
+                self._sync_completions()
         # else: the node drops off the overlay but its resident tasks run
         # to completion (the paper's churn model; see config docstring).
         self.protocol.on_leave(node_id)
@@ -487,7 +538,7 @@ class SOCSimulation:
             peak_population=self._peak_population,
             balance=self.balance.report(self._peak_population),
             query_latency=self.latency.report(),
-            efficiencies=list(self._efficiencies),
+            efficiencies=self.efficiency.values().tolist(),
             wall_clock_s=wall,
             query_timeouts=self.ratios.query_timeouts,
         )

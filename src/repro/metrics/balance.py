@@ -65,6 +65,17 @@ class PlacementBalance:
             raise ValueError(f"no resident task to remove on node {node_id}")
         self._resident[node_id] -= 1
 
+    def on_remove_many(self, node_id: int, count: int) -> None:
+        """Bulk removal — a host eviction clears all residents at once."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._resident.get(node_id, 0) < count:
+            raise ValueError(
+                f"cannot remove {count} tasks from node {node_id}: "
+                f"only {self._resident.get(node_id, 0)} resident"
+            )
+        self._resident[node_id] -= count
+
     # ------------------------------------------------------------------
     def report(self, population: int) -> BalanceReport:
         """Balance over ``population`` hosts (unused hosts count as zero —

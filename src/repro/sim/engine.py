@@ -27,10 +27,11 @@ class EventHandle:
     it without the engine scanning the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -42,7 +43,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it is skipped when popped."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.done:
+                self._sim._pending -= 1
 
 
 class Simulator:
@@ -61,6 +66,7 @@ class Simulator:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
+        self._pending = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
@@ -74,8 +80,13 @@ class Simulator:
         return self._now
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): a live-event counter maintained on push, pop and cancel —
+        monitoring code polls this at paper scale, where scanning the whole
+        heap per poll would be quadratic.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # scheduling
@@ -107,7 +118,8 @@ class Simulator:
         event = Event(when, priority, self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def periodic(
         self,
@@ -176,6 +188,8 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                event.done = True
+                self._pending -= 1
                 self._now = event.time
                 event.fn(*event.args)
                 self.events_processed += 1

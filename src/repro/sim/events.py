@@ -35,6 +35,9 @@ class Event:
     fn: Callable[..., Any]
     args: tuple = ()
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has been popped for execution — a late ``cancel()``
+    #: on an already-fired event must not touch the live-event counter.
+    done: bool = field(default=False, compare=False)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (

@@ -102,8 +102,12 @@ class NetworkModel:
         if src == dst:
             return 0.0
         p = self.params
-        if self._lan_of.get(src) == self._lan_of.get(dst):
-            bw = self._lan_bw[self._lan_of[src]]
+        # A removed endpoint has no LAN; ``None == None`` must not take the
+        # intra-LAN branch (two churned-out nodes would KeyError on the LAN
+        # bandwidth lookup) — in-flight traffic falls back to the WAN path.
+        lan_src = self._lan_of.get(src)
+        if lan_src is not None and lan_src == self._lan_of.get(dst):
+            bw = self._lan_bw[lan_src]
             return p.lan_latency_s + size_bits / (bw * 1e6)
         bw = min(self._wan_bw.get(src, p.wan_bw_mbps_lo), self._wan_bw.get(dst, p.wan_bw_mbps_lo))
         return p.wan_latency_s + size_bits / (bw * 1e6)

@@ -1,4 +1,4 @@
-"""Sandbox harness for experimenting with the protocol machinery directly.
+"""Sandbox harness and behavioural oracles for the vectorized hot paths.
 
 :class:`ProtocolSandbox` wires a bootstrapped INSCAN overlay to a live
 :class:`~repro.core.context.ProtocolContext` — simulator, network model,
@@ -10,14 +10,29 @@ exploration use to drive Algorithms 1-5 one step at a time::
     sandbox.plant_record(holder, owner=99, availability=[0.8, 0.9])
     engine = QueryEngine(sandbox.ctx, sandbox.overlay, sandbox.tables,
                          sandbox.caches, sandbox.pilists, QueryParams())
+
+The module also keeps the seed's scalar implementations of the two
+vectorized hot paths, verbatim, as equivalence oracles:
+
+- :class:`ReferenceStateCache` — the dict-of-records duty-node cache γ,
+  against :class:`repro.core.state.StateCache`;
+- :class:`ReferenceNodeExecutor` / :class:`ReferenceHostEngine` — the
+  per-host dict-of-tasks PSM executor (and a thin engine-API shim over a
+  fleet of them), against :class:`repro.cloud.engine.HostEngine`.
 """
 
 from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.can.inscan import build_index_table
 from repro.can.overlay import CANOverlay
+from repro.cloud.psm import DEFAULT_OVERHEAD, VMOverhead, effective_capacity
+from repro.cloud.tasks import N_WORK_DIMS, Task
 from repro.core.context import ProtocolContext
 from repro.core.pilist import PIList
 from repro.core.state import StateCache, StateRecord
@@ -25,7 +40,292 @@ from repro.metrics.traffic import TrafficMeter
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkModel, NetworkParams
 
-__all__ = ["ProtocolSandbox", "ReferenceStateCache"]
+__all__ = [
+    "ProtocolSandbox",
+    "ReferenceStateCache",
+    "ReferenceNodeExecutor",
+    "ReferenceHostEngine",
+    "RunningTask",
+    "assert_engines_equivalent",
+]
+
+#: Work below this is treated as done (guards float round-off at completion).
+_WORK_EPS = 1e-6
+
+
+@dataclass(slots=True)
+class RunningTask:
+    """A resident task plus its current progress rates on the work dims."""
+
+    task: Task
+    rates: np.ndarray  # (3,) work units per second
+
+
+class ReferenceNodeExecutor:
+    """The seed's event-driven proportional-share executor for one host
+    (the emulated credit scheduler of §IV-A), kept verbatim as the
+    behavioural oracle for the vectorized
+    :class:`~repro.cloud.engine.HostEngine` — mirroring how
+    :class:`ReferenceStateCache` anchors the vectorized state cache.
+
+    Shares are piecewise constant between *scheduling points* (a task
+    placement or completion on the node).  The executor integrates work
+    progress between points, recomputes PSM shares after every change, and
+    predicts the next completion time.
+    """
+
+    def __init__(self, capacity: np.ndarray, overhead: VMOverhead = DEFAULT_OVERHEAD):
+        self.capacity = np.asarray(capacity, dtype=np.float64)
+        self.overhead = overhead
+        self._running: dict[int, RunningTask] = {}
+        self._last_update = 0.0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def running_tasks(self) -> list[Task]:
+        return [rt.task for rt in self._running.values()]
+
+    def load(self) -> np.ndarray:
+        """``l_i`` — aggregated expectation of resident tasks (§II)."""
+        if not self._running:
+            return np.zeros_like(self.capacity)
+        return np.sum([rt.task.expectation for rt in self._running.values()], axis=0)
+
+    def effective_capacity(self) -> np.ndarray:
+        return effective_capacity(self.capacity, len(self._running), self.overhead)
+
+    def availability(self, now: float) -> np.ndarray:
+        """``a_i = c_i − l_i`` clipped at zero, with capacity first reduced
+        by the VM maintenance overhead of the resident instances."""
+        self.advance(now)
+        avail = self.effective_capacity() - self.load()
+        return np.maximum(avail, 0.0)
+
+    def is_overloaded(self) -> bool:
+        """True when some dimension is over-subscribed (shares < demand)."""
+        if not self._running:
+            return False
+        load = self.load()
+        eff = self.effective_capacity()
+        return bool(np.any(load > eff + 1e-12))
+
+    # ------------------------------------------------------------------
+    # progress integration
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Integrate all running tasks' progress up to ``now``."""
+        dt = now - self._last_update
+        if dt < 0:
+            raise ValueError(f"time went backwards: {now} < {self._last_update}")
+        if dt > 0:
+            for rt in self._running.values():
+                rt.task.remaining_work -= rt.rates * dt
+                np.maximum(rt.task.remaining_work, 0.0, out=rt.task.remaining_work)
+        self._last_update = now
+
+    def _reshare(self) -> None:
+        """Recompute PSM shares and per-task progress rates (Eq. 1)."""
+        if not self._running:
+            return
+        eff = self.effective_capacity()
+        load = self.load()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(load > 0, eff / load, 0.0)[:N_WORK_DIMS]
+        for rt in self._running.values():
+            rt.rates = rt.task.expectation[:N_WORK_DIMS] * scale
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def place(self, task: Task, now: float) -> None:
+        """Admit ``task``; all resident shares are re-computed."""
+        if task.task_id in self._running:
+            raise ValueError(f"task {task.task_id} already running here")
+        self.advance(now)
+        task.start_time = now
+        self._running[task.task_id] = RunningTask(task, np.zeros(N_WORK_DIMS))
+        self._reshare()
+
+    def remove(self, task_id: int, now: float) -> Task:
+        """Evict a task (e.g. node churned out); returns it unfinished."""
+        self.advance(now)
+        rt = self._running.pop(task_id)
+        self._reshare()
+        return rt.task
+
+    def complete(self, task_id: int, now: float) -> Task:
+        """Finish a task whose predicted completion time has arrived."""
+        self.advance(now)
+        rt = self._running.pop(task_id)
+        if float(rt.task.remaining_work.max()) > 1e-3:
+            raise RuntimeError(
+                f"task {task_id} completed with work left: {rt.task.remaining_work}"
+            )
+        rt.task.remaining_work[:] = 0.0
+        rt.task.finish_time = now
+        self._reshare()
+        return rt.task
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def next_completion(self) -> Optional[tuple[float, Task]]:
+        """``(time, task)`` of the earliest finishing resident task under the
+        *current* shares, or ``None``.  Must be re-queried after any
+        place/remove/complete since shares shift at every scheduling point.
+        """
+        best: Optional[tuple[float, Task]] = None
+        for rt in self._running.values():
+            t = self._time_to_finish(rt)
+            if t is None:
+                continue
+            when = self._last_update + t
+            if best is None or when < best[0]:
+                best = (when, rt.task)
+        return best
+
+    @staticmethod
+    def _time_to_finish(rt: RunningTask) -> Optional[float]:
+        remaining = rt.task.remaining_work
+        rates = rt.rates
+        # A dimension with leftover work but zero rate stalls the task.
+        stalled = (remaining > _WORK_EPS) & (rates <= 0)
+        if bool(stalled.any()):
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_dim = np.where(remaining > _WORK_EPS, remaining / rates, 0.0)
+        return float(per_dim.max())
+
+
+class ReferenceHostEngine:
+    """Scalar oracle for :class:`repro.cloud.engine.HostEngine`: the same
+    public API, backed by one :class:`ReferenceNodeExecutor` per host and
+    an independently-implemented completion calendar with the identical
+    lazy-heap discipline (one generation-stamped entry per host, exactly
+    one re-prediction per scheduling point), so equivalence tests and the
+    benchmark can swap the two engines under the same driver."""
+
+    def __init__(self, overhead: VMOverhead = DEFAULT_OVERHEAD):
+        self.overhead = overhead
+        self._exec: dict[int, ReferenceNodeExecutor] = {}
+        self._order: list[int] = []
+        self._heap: list[tuple[float, int, int]] = []  # (when, gen, host_id)
+        self._gen: dict[int, int] = {}
+        self._next: dict[int, Optional[tuple[float, Task]]] = {}
+        self._gen_counter = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_host(self, host_id: int, capacity: np.ndarray) -> None:
+        if host_id in self._exec:
+            raise ValueError(f"host {host_id} already registered")
+        self._exec[host_id] = ReferenceNodeExecutor(
+            np.asarray(capacity, dtype=np.float64), self.overhead
+        )
+        self._order.append(host_id)
+        self._gen[host_id] = 0
+        self._next[host_id] = None
+
+    def add_hosts(self, host_ids: list[int], capacities: np.ndarray) -> None:
+        for host_id, cap in zip(host_ids, np.asarray(capacities, dtype=np.float64)):
+            self.add_host(host_id, cap)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self._exec)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def n_running(self, host_id: int) -> int:
+        return self._exec[host_id].n_running
+
+    def running_tasks(self, host_id: int) -> list[Task]:
+        return self._exec[host_id].running_tasks()
+
+    def load(self, host_id: int) -> np.ndarray:
+        return self._exec[host_id].load()
+
+    def effective_capacity(self, host_id: int) -> np.ndarray:
+        return self._exec[host_id].effective_capacity()
+
+    def availability(self, host_id: int) -> np.ndarray:
+        # Availability never depends on task progress (load is a sum of
+        # expectations), so no advance — the same contract as HostEngine.
+        ex = self._exec[host_id]
+        return np.maximum(ex.effective_capacity() - ex.load(), 0.0)
+
+    def availability_matrix(self, host_ids: list[int]) -> np.ndarray:
+        return np.stack([self.availability(h) for h in host_ids])
+
+    def is_overloaded(self, host_id: int) -> bool:
+        return self._exec[host_id].is_overloaded()
+
+    def busy_host_ids(self):
+        for host_id in self._order:
+            if self._exec[host_id].n_running:
+                yield host_id
+
+    # ------------------------------------------------------------------
+    # progress integration
+    # ------------------------------------------------------------------
+    def advance_all(self, now: float) -> None:
+        for host_id in self._order:
+            self._exec[host_id].advance(now)
+
+    # ------------------------------------------------------------------
+    # completion calendar
+    # ------------------------------------------------------------------
+    def _predict(self, host_id: int) -> None:
+        self._gen_counter += 1
+        self._gen[host_id] = self._gen_counter
+        nxt = self._exec[host_id].next_completion()
+        self._next[host_id] = nxt
+        if nxt is not None:
+            heapq.heappush(self._heap, (nxt[0], self._gen_counter, host_id))
+
+    def next_completion(self, host_id: int) -> Optional[tuple[float, Task]]:
+        return self._next[host_id]
+
+    def peek(self) -> Optional[tuple[float, int, int]]:
+        while self._heap:
+            when, gen, host_id = self._heap[0]
+            if gen != self._gen[host_id]:
+                heapq.heappop(self._heap)
+                continue
+            return when, host_id, self._next[host_id][1].task_id
+        return None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def place(self, host_id: int, task: Task, now: float) -> None:
+        self._exec[host_id].place(task, now)
+        self._predict(host_id)
+
+    def remove(self, host_id: int, task_id: int, now: float) -> Task:
+        task = self._exec[host_id].remove(task_id, now)
+        self._predict(host_id)
+        return task
+
+    def evict_all(self, host_id: int, now: float) -> list[Task]:
+        ex = self._exec[host_id]
+        out = []
+        for task in ex.running_tasks():
+            out.append(ex.remove(task.task_id, now))
+        self._predict(host_id)
+        return out
+
+    def complete(self, host_id: int, task_id: int, now: float) -> Task:
+        task = self._exec[host_id].complete(task_id, now)
+        self._predict(host_id)
+        return task
 
 
 class ReferenceStateCache:
@@ -77,6 +377,139 @@ class ReferenceStateCache:
 
     def __len__(self) -> int:
         return len(self._records)
+
+
+def assert_engines_equivalent(
+    seed: int,
+    n_hosts: int = 16,
+    steps: int = 300,
+    atol: float = 1e-9,
+    churn: bool = True,
+) -> dict:
+    """Drive :class:`repro.cloud.engine.HostEngine` and
+    :class:`ReferenceHostEngine` through one randomized schedule of
+    place / remove / complete / evict-all / join / advance-all operations
+    and assert they stay indistinguishable: identical completion order
+    (host and task ids exact, times within ``atol``) and identical
+    availabilities (within ``atol``).
+
+    Raises ``AssertionError`` on the first divergence; returns summary
+    counters (used by the equivalence tests and the pre-commit smoke).
+    """
+    from repro.cloud.engine import HostEngine
+    from repro.cloud.machine import capacity_matrix, sample_machines
+    from repro.cloud.tasks import TaskFactory
+
+    rng = np.random.default_rng(seed)
+    vec = HostEngine()
+    ref = ReferenceHostEngine()
+    # Identically-seeded factories give each engine its own (mutable) copy
+    # of every task.
+    fac_vec = TaskFactory(0.5, np.random.default_rng(seed + 1))
+    fac_ref = TaskFactory(0.5, np.random.default_rng(seed + 1))
+
+    machine_rng = np.random.default_rng(seed + 2)
+    bandwidths = machine_rng.uniform(5.0, 10.0, n_hosts).tolist()
+    machines = sample_machines(machine_rng, bandwidths)
+    host_ids = list(range(n_hosts))
+    caps = capacity_matrix(machines)
+    vec.add_hosts(host_ids, caps)
+    ref.add_hosts(host_ids, caps)
+
+    now = 0.0
+    next_host_id = n_hosts
+    resident: dict[int, int] = {}  # task_id -> host_id
+    stats = {"placed": 0, "completed": 0, "removed": 0, "evicted": 0, "joined": 0}
+
+    def check_host(host_id: int) -> None:
+        a = vec.availability(host_id)
+        b = ref.availability(host_id)
+        assert np.allclose(a, b, atol=atol, rtol=0.0), (
+            f"availability diverged on host {host_id}: {a} vs {b}"
+        )
+        assert vec.n_running(host_id) == ref.n_running(host_id)
+        assert vec.is_overloaded(host_id) == ref.is_overloaded(host_id)
+
+    for _ in range(steps):
+        now += float(rng.exponential(50.0))
+        op = rng.random()
+        if op < 0.45:  # place a fresh task on a random host
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            task_vec = fac_vec.create(host_id, now)
+            task_ref = fac_ref.create(host_id, now)
+            vec.place(host_id, task_vec, now)
+            ref.place(host_id, task_ref, now)
+            resident[task_vec.task_id] = host_id
+            stats["placed"] += 1
+        elif op < 0.80:  # drain the globally-earliest completion
+            head_vec = vec.peek()
+            head_ref = ref.peek()
+            if head_vec is None or head_ref is None:
+                assert head_vec == head_ref, (
+                    f"calendar heads diverged: {head_vec} vs {head_ref}"
+                )
+                continue
+            assert head_vec[1:] == head_ref[1:], (
+                f"calendar heads diverged: {head_vec} vs {head_ref}"
+            )
+            assert abs(head_vec[0] - head_ref[0]) <= atol
+            when, host_id, task_id = head_vec
+            now = max(now, when)
+            done_vec = vec.complete(host_id, task_id, now)
+            done_ref = ref.complete(host_id, task_id, now)
+            assert done_vec.finish_time == done_ref.finish_time == now
+            del resident[task_id]
+            stats["completed"] += 1
+        elif op < 0.88 and resident:  # evict one random resident task
+            task_id = sorted(resident)[int(rng.integers(len(resident)))]
+            host_id = resident.pop(task_id)
+            out_vec = vec.remove(host_id, task_id, now)
+            out_ref = ref.remove(host_id, task_id, now)
+            assert np.allclose(
+                out_vec.remaining_work, out_ref.remaining_work, atol=atol, rtol=0.0
+            ), "evicted task progress diverged"
+            stats["removed"] += 1
+        elif op < 0.94 and churn:  # a host crashes out, losing every task
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            out_vec = vec.evict_all(host_id, now)
+            out_ref = ref.evict_all(host_id, now)
+            assert [t.task_id for t in out_vec] == [t.task_id for t in out_ref]
+            for task in out_vec:
+                del resident[task.task_id]
+            stats["evicted"] += len(out_vec)
+        elif op < 0.97 and churn:  # a fresh host joins mid-run
+            machine = sample_machines(machine_rng, [7.5])[0]
+            vec.add_host(next_host_id, machine.capacity.values)
+            ref.add_host(next_host_id, machine.capacity.values)
+            host_ids.append(next_host_id)
+            next_host_id += 1
+            stats["joined"] += 1
+        else:  # the checkpoint tick's bulk progress integration
+            vec.advance_all(now)
+            ref.advance_all(now)
+
+        for host_id in rng.choice(host_ids, size=min(4, len(host_ids)), replace=False):
+            check_host(int(host_id))
+
+    # final drain: every remaining completion must agree in order and time
+    while True:
+        head_vec = vec.peek()
+        head_ref = ref.peek()
+        if head_vec is None or head_ref is None:
+            assert head_vec == head_ref
+            break
+        assert head_vec[1:] == head_ref[1:]
+        assert abs(head_vec[0] - head_ref[0]) <= atol
+        when, host_id, task_id = head_vec
+        now = max(now, when)
+        vec.complete(host_id, task_id, now)
+        ref.complete(host_id, task_id, now)
+        del resident[task_id]
+        stats["completed"] += 1
+
+    for host_id in host_ids:
+        check_host(host_id)
+    return stats
 
 
 class ProtocolSandbox:

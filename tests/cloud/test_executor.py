@@ -1,15 +1,76 @@
-"""Unit tests for the event-driven PSM executor."""
+"""Unit tests for the event-driven PSM execution semantics.
+
+Parametrized over both implementations: the scalar
+:class:`repro.testing.ReferenceNodeExecutor` oracle and the vectorized
+:class:`repro.cloud.engine.HostEngine` behind a single-host adapter — the
+same behavioural contract must hold for either.
+"""
 
 import numpy as np
 import pytest
 
-from repro.cloud.executor import NodeExecutor
+from repro.cloud.engine import HostEngine
 from repro.cloud.psm import VMOverhead
 from repro.cloud.resources import ResourceVector
 from repro.cloud.tasks import Task
+from repro.testing import ReferenceNodeExecutor
 
 #: Zero overhead isolates the PSM arithmetic in timing tests.
 NO_OVERHEAD = VMOverhead(fractions=(0, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+
+
+class SingleHostEngine:
+    """The one-host slice of :class:`HostEngine`, shaped like the scalar
+    per-node executor so the same unit suite drives both."""
+
+    def __init__(self, capacity, overhead):
+        self._engine = HostEngine(overhead)
+        self._engine.add_host(0, capacity)
+
+    @property
+    def n_running(self):
+        return self._engine.n_running(0)
+
+    def running_tasks(self):
+        return self._engine.running_tasks(0)
+
+    def load(self):
+        return self._engine.load(0)
+
+    def effective_capacity(self):
+        return self._engine.effective_capacity(0)
+
+    def availability(self, now):
+        return self._engine.availability(0)
+
+    def is_overloaded(self):
+        return self._engine.is_overloaded(0)
+
+    def advance(self, now):
+        self._engine.advance_all(now)
+
+    def place(self, task, now):
+        self._engine.place(0, task, now)
+
+    def remove(self, task_id, now):
+        return self._engine.remove(0, task_id, now)
+
+    def complete(self, task_id, now):
+        return self._engine.complete(0, task_id, now)
+
+    def next_completion(self):
+        return self._engine.next_completion(0)
+
+
+IMPLEMENTATIONS = {
+    "reference": ReferenceNodeExecutor,
+    "engine": SingleHostEngine,
+}
+
+
+@pytest.fixture(params=sorted(IMPLEMENTATIONS), ids=sorted(IMPLEMENTATIONS))
+def impl(request):
+    return IMPLEMENTATIONS[request.param]
 
 
 def make_task(task_id, cpu=2.0, io=10.0, net=1.0, nominal=100.0):
@@ -22,13 +83,13 @@ def make_task(task_id, cpu=2.0, io=10.0, net=1.0, nominal=100.0):
     )
 
 
-def make_executor(cpu=10.0, io=100.0, net=10.0, overhead=NO_OVERHEAD):
-    return NodeExecutor(np.array([cpu, io, net, 100.0, 1000.0]), overhead)
+def make_executor(impl, cpu=10.0, io=100.0, net=10.0, overhead=NO_OVERHEAD):
+    return impl(np.array([cpu, io, net, 100.0, 1000.0]), overhead)
 
 
-def test_single_task_alone_runs_faster_than_nominal():
+def test_single_task_alone_runs_faster_than_nominal(impl):
     # PSM grants the full capacity to a lone task: speedup = capacity/demand.
-    ex = make_executor(cpu=4.0, io=20.0, net=2.0)
+    ex = make_executor(impl, cpu=4.0, io=20.0, net=2.0)
     task = make_task(0, cpu=2.0, io=10.0, net=1.0, nominal=100.0)
     ex.place(task, 0.0)
     when, t = ex.next_completion()
@@ -38,16 +99,16 @@ def test_single_task_alone_runs_faster_than_nominal():
     assert done.finish_time == pytest.approx(50.0)
 
 
-def test_task_at_exact_capacity_finishes_at_nominal():
-    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+def test_task_at_exact_capacity_finishes_at_nominal(impl):
+    ex = make_executor(impl, cpu=2.0, io=10.0, net=1.0)
     task = make_task(0, cpu=2.0, io=10.0, net=1.0, nominal=100.0)
     ex.place(task, 0.0)
     when, _ = ex.next_completion()
     assert when == pytest.approx(100.0)
 
 
-def test_oversubscription_stretches_completion():
-    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+def test_oversubscription_stretches_completion(impl):
+    ex = make_executor(impl, cpu=2.0, io=10.0, net=1.0)
     a = make_task(0, nominal=100.0)
     b = make_task(1, nominal=100.0)
     ex.place(a, 0.0)
@@ -58,8 +119,8 @@ def test_oversubscription_stretches_completion():
     assert when == pytest.approx(200.0)
 
 
-def test_shares_rescale_when_task_leaves():
-    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+def test_shares_rescale_when_task_leaves(impl):
+    ex = make_executor(impl, cpu=2.0, io=10.0, net=1.0)
     a = make_task(0, nominal=100.0)
     b = make_task(1, nominal=100.0)
     ex.place(a, 0.0)
@@ -71,8 +132,8 @@ def test_shares_rescale_when_task_leaves():
     assert when == pytest.approx(150.0)  # 50 units of work left at rate 1×
 
 
-def test_availability_is_capacity_minus_load():
-    ex = make_executor(cpu=10.0, io=100.0, net=10.0)
+def test_availability_is_capacity_minus_load(impl):
+    ex = make_executor(impl, cpu=10.0, io=100.0, net=10.0)
     task = make_task(0, cpu=2.0, io=10.0, net=1.0)
     ex.place(task, 0.0)
     avail = ex.availability(0.0)
@@ -80,9 +141,9 @@ def test_availability_is_capacity_minus_load():
     assert avail[1] == pytest.approx(90.0)
 
 
-def test_availability_accounts_for_vm_overhead():
+def test_availability_accounts_for_vm_overhead(impl):
     overhead = VMOverhead(fractions=(0.05, 0.10, 0.05, 0.0, 0.0), flat=(0, 0, 0, 0, 5.0))
-    ex = make_executor(cpu=10.0, io=100.0, net=10.0, overhead=overhead)
+    ex = make_executor(impl, cpu=10.0, io=100.0, net=10.0, overhead=overhead)
     task = make_task(0, cpu=2.0, io=10.0, net=1.0)
     ex.place(task, 0.0)
     avail = ex.availability(0.0)
@@ -91,15 +152,15 @@ def test_availability_accounts_for_vm_overhead():
     assert avail[4] == pytest.approx(1000.0 - 5.0 - 100.0)
 
 
-def test_availability_clamps_at_zero_when_overloaded():
-    ex = make_executor(cpu=2.0, io=10.0, net=1.0)
+def test_availability_clamps_at_zero_when_overloaded(impl):
+    ex = make_executor(impl, cpu=2.0, io=10.0, net=1.0)
     ex.place(make_task(0), 0.0)
     ex.place(make_task(1), 0.0)
     assert np.all(ex.availability(0.0) >= 0.0)
 
 
-def test_progress_integrates_across_share_changes():
-    ex = make_executor(cpu=4.0, io=20.0, net=2.0)
+def test_progress_integrates_across_share_changes(impl):
+    ex = make_executor(impl, cpu=4.0, io=20.0, net=2.0)
     a = make_task(0, nominal=100.0)  # alone: 2× speed
     ex.place(a, 0.0)
     b = make_task(1, nominal=100.0)
@@ -114,38 +175,38 @@ def test_progress_integrates_across_share_changes():
     assert when_b == pytest.approx(100.0)
 
 
-def test_complete_rejects_unfinished_task():
-    ex = make_executor()
+def test_complete_rejects_unfinished_task(impl):
+    ex = make_executor(impl)
     ex.place(make_task(0, nominal=1000.0), 0.0)
     with pytest.raises(RuntimeError, match="work left"):
         ex.complete(0, 1.0)
 
 
-def test_double_place_rejected():
-    ex = make_executor()
+def test_double_place_rejected(impl):
+    ex = make_executor(impl)
     ex.place(make_task(0), 0.0)
     with pytest.raises(ValueError):
         ex.place(make_task(0), 1.0)
 
 
-def test_time_cannot_go_backwards():
-    ex = make_executor()
+def test_time_cannot_go_backwards(impl):
+    ex = make_executor(impl)
     ex.place(make_task(0), 10.0)
     with pytest.raises(ValueError):
         ex.advance(5.0)
 
 
-def test_stalled_task_has_no_completion():
+def test_stalled_task_has_no_completion(impl):
     # 20 VMs × 5% CPU overhead → zero effective CPU: the task stalls.
     overhead = VMOverhead(fractions=(0.05, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
-    ex = make_executor(cpu=2.0, io=1000.0, net=100.0, overhead=overhead)
+    ex = make_executor(impl, cpu=2.0, io=1000.0, net=100.0, overhead=overhead)
     for i in range(20):
         ex.place(make_task(i, cpu=0.1, io=1.0, net=0.1), 0.0)
     assert ex.next_completion() is None
 
 
-def test_empty_executor():
-    ex = make_executor()
+def test_empty_executor(impl):
+    ex = make_executor(impl)
     assert ex.next_completion() is None
     assert ex.n_running == 0
     assert not ex.is_overloaded()

@@ -131,3 +131,27 @@ def test_custom_overhead():
     eff = effective_capacity(capacity, 1, overhead)
     assert eff[0] == pytest.approx(4.0)
     assert np.allclose(eff[1:], 8.0)
+
+
+def test_effective_capacity_batch_matches_scalar_rows():
+    """The batch form is row-for-row the scalar function, bit-for-bit."""
+    from repro.cloud.psm import effective_capacity_batch
+
+    rng = np.random.default_rng(9)
+    caps = rng.uniform(1.0, 100.0, size=(50, 5))
+    n_vms = rng.integers(0, 30, size=50)
+    batch = effective_capacity_batch(caps, n_vms)
+    for row in range(50):
+        expected = effective_capacity(caps[row], int(n_vms[row]))
+        assert np.array_equal(batch[row], expected)
+
+
+def test_effective_capacity_batch_custom_overhead():
+    from repro.cloud.psm import effective_capacity_batch
+
+    overhead = VMOverhead(fractions=(0.5, 0, 0, 0, 0), flat=(0, 0, 0, 0, 0))
+    caps = np.ones((3, 5)) * 8
+    batch = effective_capacity_batch(caps, np.array([1, 2, 0]), overhead)
+    assert batch[0][0] == pytest.approx(4.0)
+    assert batch[1][0] == pytest.approx(0.0)
+    assert np.allclose(batch[2], 8.0)

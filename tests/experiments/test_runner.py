@@ -79,11 +79,8 @@ def test_strict_admission_never_oversubscribes():
 
     class Checked(SOCSimulation):
         def _admit(self, task, target):
-            host = self.hosts[target]
             placements.append(
-                dominates(
-                    host.executor.availability(self.sim.now), task.expectation
-                )
+                dominates(self.engine.availability(target), task.expectation)
             )
             super()._admit(task, target)
 
@@ -100,11 +97,8 @@ def test_lenient_admission_allows_contention():
 
     class Checked(SOCSimulation):
         def _admit(self, task, target):
-            host = self.hosts[target]
             violations.append(
-                not dominates(
-                    host.executor.availability(self.sim.now), task.expectation
-                )
+                not dominates(self.engine.availability(target), task.expectation)
             )
             super()._admit(task, target)
 
@@ -179,3 +173,50 @@ def test_failsafe_prevents_task_leaks():
     still_running = res.placed - res.finished
     assert resolved + still_running == pytest.approx(res.generated, abs=res.generated)
     assert res.failed + res.placed >= res.generated * 0.9  # few in flight at end
+
+
+# ----------------------------------------------------------------------
+# host-engine equivalence at scenario level
+# ----------------------------------------------------------------------
+def _cross_check(cfg):
+    """Run one config on both execution substrates; they must be
+    indistinguishable (identical completion ordering makes every metric
+    identical, so compare the full metric surface)."""
+    from repro.testing import ReferenceHostEngine
+
+    vec = SOCSimulation(cfg).run()
+    ref = SOCSimulation(cfg, engine=ReferenceHostEngine()).run()
+    assert vec.summary() == pytest.approx(ref.summary(), abs=1e-9)
+    assert vec.generated == ref.generated
+    assert vec.placed == ref.placed
+    assert vec.evicted == ref.evicted
+    assert vec.traffic_by_kind == ref.traffic_by_kind
+    assert vec.balance == ref.balance
+    for key in vec.series:
+        assert vec.series[key].times == ref.series[key].times
+        assert vec.series[key].values == pytest.approx(
+            ref.series[key].values, abs=1e-9, nan_ok=True
+        )
+    assert vec.efficiencies == pytest.approx(ref.efficiencies, abs=1e-9)
+    return vec
+
+
+def test_engine_matches_reference_on_tiny_scenario_cell():
+    """Tier-1 cross-check: a real fig4a cell at `tiny` scale runs bit-for-
+    bit identically on HostEngine and the scalar reference substrate."""
+    from repro.experiments.scenarios import scenario_configs
+
+    cfg = scenario_configs("fig4a", scale="tiny", seed=7)["sid-can"]
+    res = _cross_check(cfg)
+    assert res.generated > 0 and res.placed > 0
+
+
+def test_engine_matches_reference_under_churn_eviction():
+    """The eviction/recovery path (bulk evict_all + checkpoint restarts)
+    must also be substrate-independent."""
+    cfg = ExperimentConfig(
+        **{**MICRO, "churn_degree": 0.5, "churn_kills_tasks": True,
+           "checkpoint_enabled": True, "checkpoint_period": 500.0}
+    )
+    res = _cross_check(cfg)
+    assert res.evicted > 0

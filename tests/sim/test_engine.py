@@ -211,3 +211,59 @@ def test_events_processed_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 7
+
+
+# ----------------------------------------------------------------------
+# the O(1) pending() counter (maintained on push / pop / cancel)
+# ----------------------------------------------------------------------
+def test_pending_is_constant_time_counter_not_heap_scan():
+    """pending() must agree with a brute-force heap scan throughout an
+    arbitrary push/pop/cancel workload — the counter is the contract."""
+    sim = Simulator()
+    rng = __import__("random").Random(5)
+    handles = []
+    for step in range(200):
+        roll = rng.random()
+        if roll < 0.6:
+            handles.append(sim.schedule(rng.uniform(0.1, 50.0), lambda: None))
+        elif handles:
+            handles.pop(rng.randrange(len(handles))).cancel()
+        brute = sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending() == brute
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_double_cancel_decrements_once():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert sim.pending() == 1
+
+
+def test_cancel_after_fire_is_noop():
+    """A handle cancelled after its event already ran (the failsafe
+    pattern: on_result cancels the failsafe that invoked it) must not
+    corrupt the live-event counter."""
+    sim = Simulator()
+    box = {}
+
+    def fire():
+        box["handle"].cancel()
+
+    box["handle"] = sim.schedule(1.0, fire)
+    keeper = sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.pending() == 1
+    keeper.cancel()
+    assert sim.pending() == 0
+
+
+def test_pending_counts_fired_events_down():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(until=2.5)
+    assert sim.pending() == 2

@@ -95,3 +95,36 @@ def test_add_node_idempotent(net):
     lan = net.lan_of(0)
     net.add_node(0)
     assert net.lan_of(0) == lan
+
+
+def test_delay_between_removed_nodes_takes_wan_path(net):
+    """Churn regression: two departed endpoints both resolve to no LAN
+    (``None == None``) and used to take the intra-LAN branch, crashing on
+    the LAN bandwidth lookup.  In-flight messages between churned-out
+    nodes must instead pay the WAN fallback price."""
+    net.remove_node(0)
+    net.remove_node(1)
+    d = net.delay(0, 1, CONTROL_MSG_BITS)
+    assert d >= net.params.wan_latency_s
+
+
+def test_delay_with_one_removed_endpoint_is_wan(net):
+    """A live node messaging a departed one cannot share a LAN with it."""
+    peer = next(n for n in range(1, 10) if net.lan_of(n) == net.lan_of(0))
+    net.remove_node(0)
+    assert net.delay(peer, 0) >= net.params.wan_latency_s
+    assert net.delay(0, peer) >= net.params.wan_latency_s
+
+
+def test_removed_node_delay_under_churn_traffic():
+    """End-to-end churn shape: keep routing among a mix of removed and
+    live nodes; every pair must produce a finite positive delay."""
+    model = NetworkModel(NetworkParams(lan_size=4), np.random.default_rng(2))
+    for node in range(12):
+        model.add_node(node)
+    for node in (0, 3, 7):
+        model.remove_node(node)
+    for a in range(12):
+        for b in range(12):
+            if a != b:
+                assert model.delay(a, b) > 0.0

@@ -44,3 +44,15 @@ def test_ruff_config_present():
     """The lint policy must stay in the repo even where ruff isn't."""
     config = (REPO_ROOT / "pyproject.toml").read_text()
     assert "[tool.ruff]" in config
+
+
+def test_host_engine_equivalence_smoke():
+    """Fast-gate smoke of the execution substrate: one short randomized
+    schedule through both the vectorized HostEngine and the scalar
+    reference must stay indistinguishable (the heavy property suite lives
+    in tests/cloud/test_engine_equivalence.py; this runs in well under a
+    second so it belongs in the pre-commit gate)."""
+    from repro.testing import assert_engines_equivalent
+
+    stats = assert_engines_equivalent(seed=1, n_hosts=8, steps=120)
+    assert stats["placed"] > 0 and stats["completed"] > 0
