@@ -24,12 +24,21 @@ __all__ = ["CANStateBaseline"]
 
 
 class CANStateBaseline(DiscoveryProtocol):
-    """Overlay + duty caches + periodic state updates, no diffusion."""
+    """Overlay + duty caches + periodic state updates, no diffusion.
 
-    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
+    ``overlay_cls`` swaps the CAN substrate (vectorized default or the
+    scalar :class:`repro.testing.ReferenceCANOverlay` oracle).
+    """
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        overlay_cls: type | None = None,
+    ):
         self.ctx = ctx
         self.params = params
-        self.overlay = CANOverlay(params.resource_dims, ctx.rng)
+        self.overlay = (overlay_cls or CANOverlay)(params.resource_dims, ctx.rng)
         self.caches: dict[int, StateCache] = {}
         self.tables: dict[int, IndexPointerTable] = {}
         self.lifecycle = QueryLifecycle(ctx, params.query_timeout)

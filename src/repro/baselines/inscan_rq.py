@@ -128,8 +128,13 @@ class InscanRQProtocol(CANStateBaseline):
 
     name = "inscan-rq"
 
-    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
-        super().__init__(ctx, params)
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        overlay_cls: type | None = None,
+    ):
+        super().__init__(ctx, params, overlay_cls=overlay_cls)
         self.engine = INSCANRangeQuery(self.overlay, self.tables, self.caches)
 
     # ------------------------------------------------------------------

@@ -47,8 +47,9 @@ class KHDNProtocol(CANStateBaseline):
         k_hops: int = 2,
         replication_fanout: int = 2,
         max_probes: int = 12,
+        overlay_cls: type | None = None,
     ):
-        super().__init__(ctx, params)
+        super().__init__(ctx, params, overlay_cls=overlay_cls)
         self.k_hops = k_hops
         self.replication_fanout = replication_fanout
         self.max_probes = max_probes

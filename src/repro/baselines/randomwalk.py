@@ -42,8 +42,9 @@ class RandomWalkProtocol(CANStateBaseline):
         ctx: ProtocolContext,
         params: PIDCANParams,
         walk_hops: int = 12,
+        overlay_cls: type | None = None,
     ):
-        super().__init__(ctx, params)
+        super().__init__(ctx, params, overlay_cls=overlay_cls)
         self.walk_hops = walk_hops
 
     # ------------------------------------------------------------------

@@ -9,17 +9,29 @@ INSCAN extension (2^k-hop index pointers giving O(log n) routing, §III-A).
 The key space is *not* toroidal: the paper's backward index diffusion
 propagates "until reaching the edge of the CAN space", so directions are
 meaningful and absolute.
+
+Zone geometry is served twice: authoritative :class:`Zone` objects hang
+off the partition tree, while the overlay's :class:`ZoneStore` mirrors
+every live zone in SoA matrices so routing and neighbor rebinding run as
+batched array operations (see ``docs/can_geometry.md``).
 """
 
 from repro.can.zone import Zone, adjacency_direction, is_negative_direction_of
+from repro.can.geometry import ZoneStore
 from repro.can.partition_tree import PartitionTree, TreeLeaf
 from repro.can.node import OverlayNode
 from repro.can.overlay import CANOverlay
-from repro.can.routing import greedy_path, RoutingError
-from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.routing import greedy_path, greedy_paths, RoutingError
+from repro.can.inscan import (
+    IndexPointerTable,
+    build_index_table,
+    inscan_path,
+    inscan_paths,
+)
 
 __all__ = [
     "Zone",
+    "ZoneStore",
     "adjacency_direction",
     "is_negative_direction_of",
     "PartitionTree",
@@ -27,8 +39,10 @@ __all__ = [
     "OverlayNode",
     "CANOverlay",
     "greedy_path",
+    "greedy_paths",
     "RoutingError",
     "IndexPointerTable",
     "build_index_table",
     "inscan_path",
+    "inscan_paths",
 ]

@@ -14,17 +14,18 @@ k ≥ 1, in the negative direction of a dimension.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.can.overlay import CANOverlay
-from repro.can.routing import greedy_path
+from repro.can.routing import greedy_path, greedy_paths
 
 __all__ = [
     "IndexPointerTable",
     "build_index_table",
     "inscan_path",
+    "inscan_paths",
     "max_pointer_exponent",
 ]
 
@@ -45,13 +46,19 @@ class IndexPointerTable:
     churn; routing skips dead ids and the table is refreshed periodically.
     """
 
-    __slots__ = ("node_id", "links", "build_messages")
+    __slots__ = ("node_id", "links", "build_messages", "_neg_pools",
+                 "_neg_tuples")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self.links: dict[tuple[int, int], list[int]] = {}
         #: directional-walk steps spent building the table (traffic charge)
         self.build_messages = 0
+        #: lazily-built ``dim -> int64 array`` / tuple mirrors of the
+        #: negative pointer chains (the diffusion engine's NINode pools);
+        #: a table is immutable once built, so neither goes stale.
+        self._neg_pools: dict[int, np.ndarray] = {}
+        self._neg_tuples: dict[int, tuple[int, ...]] = {}
 
     def pointers(self, dim: int, sign: int) -> list[int]:
         return self.links.get((dim, sign), [])
@@ -70,6 +77,26 @@ class IndexPointerTable:
         decomposition of relay distances (13 = 8 + 4 + 1) requires the
         2^0 link, otherwise odd distances would be unreachable."""
         return self.pointers(dim, -1)[min_exponent:]
+
+    def negative_pool(self, dim: int) -> np.ndarray:
+        """The NINode chain along ``dim`` as an int64 array (chain order
+        preserved) — the array-backed pool the diffusion engine filters
+        with vectorized liveness/exclusion masks."""
+        pool = self._neg_pools.get(dim)
+        if pool is None:
+            pool = np.asarray(self.pointers(dim, -1), dtype=np.int64)
+            self._neg_pools[dim] = pool
+        return pool
+
+    def negative_pool_tuple(self, dim: int) -> tuple[int, ...]:
+        """The same chain as a cached tuple of ints — the scalar-filter
+        view the diffusion engine uses below its vectorization cutover
+        (avoids the per-call list slice of ``negative_index_nodes``)."""
+        pool = self._neg_tuples.get(dim)
+        if pool is None:
+            pool = tuple(self.pointers(dim, -1))
+            self._neg_tuples[dim] = pool
+        return pool
 
 
 def build_index_table(
@@ -128,9 +155,22 @@ def inscan_path(
     max_hops: Optional[int] = None,
 ) -> list[int]:
     """Greedy routing over neighbors ∪ index pointers — O(log2 n) hops."""
+    return greedy_path(
+        overlay, start_id, point, max_hops=max_hops, link_tables=tables
+    )
 
-    def extra(node_id: int) -> list[int]:
-        table = tables.get(node_id)
-        return table.all_links() if table is not None else []
 
-    return greedy_path(overlay, start_id, point, max_hops=max_hops, extra_links=extra)
+def inscan_paths(
+    overlay: CANOverlay,
+    tables: dict[int, IndexPointerTable],
+    starts: Sequence[int],
+    points: np.ndarray,
+    max_hops: Optional[int] = None,
+    on_error: str = "raise",
+) -> list[Optional[list[int]]]:
+    """Batched :func:`inscan_path` — one lockstep routing pass for a whole
+    burst of queries (see :func:`repro.can.routing.greedy_paths`)."""
+    return greedy_paths(
+        overlay, starts, points,
+        max_hops=max_hops, link_tables=tables, on_error=on_error,
+    )

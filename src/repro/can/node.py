@@ -17,14 +17,22 @@ class OverlayNode:
 
     The zone is read through the partition-tree leaf so that tree repairs
     (merges, relocations) are immediately visible here.
+
+    ``directions`` caches each edge's shared-face ``(dim, sign)`` — the
+    direction from *this* node's perspective — maintained by the overlay
+    at rebind time so that directional lookups (the hot inner step of the
+    INSCAN table walks) are dict filters, not geometry recomputations.
+    It mirrors ``neighbors`` exactly on the vectorized overlay;
+    ``check_invariants`` cross-checks both against brute force.
     """
 
-    __slots__ = ("node_id", "leaf", "neighbors")
+    __slots__ = ("node_id", "leaf", "neighbors", "directions")
 
     def __init__(self, node_id: int, leaf: "TreeLeaf"):
         self.node_id = node_id
         self.leaf = leaf
         self.neighbors: set[int] = set()
+        self.directions: dict[int, tuple[int, int]] = {}
 
     @property
     def zone(self) -> Zone:

@@ -14,6 +14,16 @@ adjacent to the affected zones can gain or lose adjacency, because
 So recomputing adjacency over the union of the old neighborhoods is
 complete.  ``check_invariants`` cross-checks this against a brute-force
 recomputation in the tests.
+
+Geometry lives twice, on purpose: the partition tree keeps the
+authoritative :class:`~repro.can.zone.Zone` objects (split history,
+takeover), while :class:`~repro.can.geometry.ZoneStore` mirrors every
+live zone's bounds in SoA matrices so routing and rebinding evaluate
+whole candidate sets as array ops.  Every leaf-binding change syncs the
+store row; rebinding classifies the candidate neighborhood with one
+batched adjacency call and caches each edge's ``(dim, sign)`` on both
+endpoints, so ``directional_neighbors`` — the hot inner step of the
+INSCAN directional walks — is a dict filter.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.can.geometry import ZoneStore
 from repro.can.node import OverlayNode
 from repro.can.partition_tree import PartitionTree, TakeoverPlan
 from repro.can.zone import adjacency_direction
@@ -32,6 +43,10 @@ __all__ = ["CANOverlay"]
 class CANOverlay:
     """A complete, consistent CAN overlay over ``[0,1]^dims``."""
 
+    #: Subclasses that recompute adjacency per call (the scalar reference
+    #: oracle) set this False so invariants skip the direction cache.
+    _caches_directions = True
+
     def __init__(self, dims: int, rng: np.random.Generator):
         if dims < 1:
             raise ValueError("dims must be >= 1")
@@ -39,6 +54,10 @@ class CANOverlay:
         self._rng = rng
         self.nodes: dict[int, OverlayNode] = {}
         self.tree: Optional[PartitionTree] = None
+        #: SoA mirror of all live zones, kept in sync by join/leave.
+        self.geometry = ZoneStore(dims)
+        #: Routing candidate pools (managed by :mod:`repro.can.routing`).
+        self._route_pools: dict = {}
 
     # ------------------------------------------------------------------
     # membership queries
@@ -62,15 +81,11 @@ class CANOverlay:
         self, node_id: int, dim: int, sign: int
     ) -> list[int]:
         """Adjacent neighbors across the ``(dim, sign)`` face, sorted for
-        determinism."""
-        node = self.nodes[node_id]
-        out = []
-        for m in node.neighbors:
-            d = adjacency_direction(node.zone, self.nodes[m].zone)
-            if d is not None and d == (dim, sign):
-                out.append(m)
-        out.sort()
-        return out
+        determinism — a filter over the cached edge directions."""
+        key = (dim, sign)
+        return sorted(
+            m for m, d in self.nodes[node_id].directions.items() if d == key
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -93,6 +108,7 @@ class CANOverlay:
             self.tree = PartitionTree(self.dims, node_id)
             node = OverlayNode(node_id, self.tree.leaf_of(node_id))
             self.nodes[node_id] = node
+            self.geometry.add(node_id, node.zone)
             return node
 
         p = self.random_point() if point is None else np.asarray(point, np.float64)
@@ -105,6 +121,8 @@ class CANOverlay:
         owner.leaf = kept_leaf
         new_node = OverlayNode(node_id, new_leaf)
         self.nodes[node_id] = new_node
+        self.geometry.update(owner_id, kept_leaf.zone)
+        self.geometry.add(node_id, new_leaf.zone)
 
         # Rebind adjacency among {owner, joiner} ∪ previous neighborhood.
         self._rebind_neighbors(owner_id, old_neighbors | {node_id})
@@ -120,7 +138,10 @@ class CANOverlay:
         node = self.nodes.pop(node_id)
         departed_neighbors = set(node.neighbors)
         for m in departed_neighbors:
-            self.nodes[m].neighbors.discard(node_id)
+            peer = self.nodes[m]
+            peer.neighbors.discard(node_id)
+            peer.directions.pop(node_id, None)
+        self.geometry.remove(node_id)
 
         assert self.tree is not None
         plan = self.tree.remove(node_id)
@@ -131,6 +152,7 @@ class CANOverlay:
         absorber = self.nodes[plan.absorber]
         absorber_old = set(absorber.neighbors)
         absorber.leaf = plan.absorber_leaf
+        self.geometry.update(plan.absorber, plan.absorber_leaf.zone)
 
         if plan.mover is None:
             # Sibling merge: absorber's zone grew to cover the departed
@@ -143,6 +165,7 @@ class CANOverlay:
             mover_old = set(mover.neighbors)
             assert plan.mover_leaf is not None
             mover.leaf = plan.mover_leaf
+            self.geometry.update(plan.mover, plan.mover_leaf.zone)
             # The absorber swallowed the mover's old zone: candidates are
             # its own old neighbors plus the mover's.
             self._rebind_neighbors(plan.absorber, absorber_old | mover_old)
@@ -159,31 +182,40 @@ class CANOverlay:
     # adjacency maintenance
     # ------------------------------------------------------------------
     def _rebind_neighbors(self, node_id: int, candidates: set[int]) -> None:
-        """Recompute ``node_id``'s adjacency against ``candidates`` and make
-        the affected edges symmetric.  Candidates not actually adjacent are
-        removed if previously linked."""
+        """Recompute ``node_id``'s adjacency against ``candidates`` in one
+        batched geometry call and make the affected edges (and their
+        cached directions) symmetric.  Candidates not actually adjacent
+        are removed if previously linked."""
         node = self.nodes[node_id]
-        for cand_id in candidates:
-            if cand_id == node_id:
-                continue
-            cand = self.nodes.get(cand_id)
-            if cand is None:
-                continue
-            if adjacency_direction(node.zone, cand.zone) is not None:
+        cands = [c for c in candidates if c != node_id and c in self.nodes]
+        if not cands:
+            return
+        adjacent, dims, signs = self.geometry.adjacency(node_id, cands)
+        for cand_id, ok, dim, sign in zip(
+            cands, adjacent.tolist(), dims.tolist(), signs.tolist()
+        ):
+            cand = self.nodes[cand_id]
+            if ok:
                 node.neighbors.add(cand_id)
+                node.directions[cand_id] = (dim, sign)
                 cand.neighbors.add(node_id)
+                cand.directions[node_id] = (dim, -sign)
             else:
                 node.neighbors.discard(cand_id)
+                node.directions.pop(cand_id, None)
                 cand.neighbors.discard(node_id)
+                cand.directions.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # invariants (test support; O(n^2))
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Full structural validation: tree consistency, leaf binding, and
-        brute-force adjacency equality."""
+        """Full structural validation: tree consistency, leaf binding,
+        zone-store mirroring, and brute-force adjacency equality
+        (including the cached edge directions)."""
         if not self.nodes:
             assert self.tree is None or len(self.tree) == 0
+            assert len(self.geometry) == 0
             return
         assert self.tree is not None
         self.tree.check_invariants()
@@ -192,16 +224,39 @@ class CANOverlay:
             assert self.tree.leaf_of(node_id) is node.leaf, (
                 f"node {node_id} leaf binding stale"
             )
+        self.geometry.check_invariants(
+            {node_id: node.zone for node_id, node in self.nodes.items()}
+        )
         ids = sorted(self.nodes)
         for i, a in enumerate(ids):
             za = self.nodes[a].zone
             for b in ids[i + 1 :]:
                 zb = self.nodes[b].zone
-                adjacent = adjacency_direction(za, zb) is not None
+                direction = adjacency_direction(za, zb)
+                adjacent = direction is not None
                 linked = b in self.nodes[a].neighbors
                 linked_sym = a in self.nodes[b].neighbors
                 assert linked == linked_sym, f"asymmetric edge {a}-{b}"
                 assert linked == adjacent, (
                     f"edge {a}-{b}: linked={linked} adjacent={adjacent} "
                     f"zones {za} {zb}"
+                )
+                if self._caches_directions:
+                    cached = self.nodes[a].directions.get(b)
+                    cached_sym = self.nodes[b].directions.get(a)
+                    assert cached == direction, (
+                        f"direction cache {a}->{b}: {cached} != {direction}"
+                    )
+                    expected_sym = (
+                        None if direction is None
+                        else (direction[0], -direction[1])
+                    )
+                    assert cached_sym == expected_sym, (
+                        f"direction cache {b}->{a}: {cached_sym} != "
+                        f"{expected_sym}"
+                    )
+        if self._caches_directions:
+            for node_id, node in self.nodes.items():
+                assert set(node.directions) == node.neighbors, (
+                    f"direction cache of {node_id} out of sync"
                 )

@@ -1,10 +1,32 @@
-"""Greedy CAN routing.
+"""Greedy CAN routing over the SoA zone store.
 
 Standard CAN forwarding: each hop moves to the neighbor whose zone is
 closest (box distance) to the target point.  Because zones tile the space,
 the minimum over neighbors is strictly smaller than the current distance
 whenever that distance is positive, so the path terminates in
 O(d·n^(1/d)) hops.
+
+A hop's whole candidate set — adjacent neighbors plus, for INSCAN
+routing, the node's 2^k long links — is evaluated in **one vectorized
+distance computation** against the overlay's
+:class:`~repro.can.geometry.ZoneStore` instead of a Python loop per
+candidate.  Per-node candidate blocks (sorted ids plus gathered bounds)
+are cached in a CSR-style pool invalidated by the store's mutation epoch
+and the per-node pointer-table identity, so steady-state hops touch no
+Python-level geometry at all.  Candidates are screened on *squared*
+distances; the decisive comparisons happen in the seed's ``acc ** 0.5``
+space (near-tied accumulators are re-compared with the identical Python
+pow, which merges values a couple of ulps apart into exact ties, lowest
+id winning) — see ``docs/can_geometry.md`` for the bit-exactness
+contract against the scalar reference
+(:func:`repro.testing.reference_greedy_path`).
+
+:func:`greedy_paths` routes a whole batch of queries in lockstep rounds
+— all active routes' candidate blocks are concatenated and resolved by
+segmented reductions, amortizing the numpy dispatch overhead that bounds
+the single-route path.  Batched submission (``submit_many`` bursts) and
+the routing benchmarks use it; results are bit-identical to routing each
+query alone.
 
 Boundary targets need care: Table-I capacities are discrete, so normalized
 coordinates like 12.8/25.6 = 0.5 land *exactly* on zone boundaries, where
@@ -21,74 +43,467 @@ Peersim-style hop accounting without paying one event per hop.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.can.geometry import _sequential_row_sums
 from repro.can.overlay import CANOverlay
+from repro.can.zone import Zone
 
-__all__ = ["greedy_path", "RoutingError"]
+__all__ = ["greedy_path", "greedy_paths", "RoutingError"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Candidates whose squared distances sit within this relative window of
+#: the minimum are re-compared in the seed's ``acc ** 0.5`` space: the
+#: square root merges accumulators a couple of ulps apart into exact
+#: ties (lowest id wins), so deciding purely on squared values would
+#: diverge from the scalar path in that window.  2^-40 is astronomically
+#: wider than the ~2-ulp merge radius yet never catches genuinely
+#: distinct distances, so the slow exact resolve stays rare.
+_NEAR_TIE = 1.0 + 2.0 ** -40
+
+
+def _pow_space_best(accs: np.ndarray, ids) -> tuple[float, int]:
+    """The seed's ``(distance, id)``-lexicographic candidate selection:
+    screen on the squared accumulators, resolve near-ties by evaluating
+    the scalar path's ``acc ** 0.5`` per tied candidate.  ``ids`` is any
+    indexable of candidate ids aligned with ``accs``."""
+    i = int(np.argmin(accs))
+    best_acc = float(accs[i])
+    near = accs <= best_acc * _NEAR_TIE
+    if int(near.sum()) > 1:
+        return min(
+            (float(accs[j]) ** 0.5, int(ids[j]))
+            for j in np.flatnonzero(near).tolist()
+        )
+    return best_acc ** 0.5, int(ids[i])
 
 
 class RoutingError(RuntimeError):
     """Routing failed to make progress (overlay inconsistency)."""
 
 
+def _squared_distance(zone: Zone, point: Sequence[float]) -> float:
+    """The scalar gap loop of the seed's ``Zone.distance_to_point``,
+    without the final square root — the exactness yardstick for the
+    vectorized kernel."""
+    lo, hi = zone._lo, zone._hi
+    acc = 0.0
+    for k in range(len(lo)):
+        v = point[k]
+        if v < lo[k]:
+            gap = lo[k] - v
+        elif v > hi[k]:
+            gap = v - hi[k]
+        else:
+            continue
+        acc += gap * gap
+    return acc
+
+
+# ----------------------------------------------------------------------
+# candidate block pool
+# ----------------------------------------------------------------------
+class _RouteBlockPool:
+    """CSR pool of per-node candidate blocks (sorted ids + bounds).
+
+    One pool per (overlay geometry, pointer-table dict) pair.  Blocks are
+    filled lazily on first visit and stay valid until the zone store's
+    epoch moves (any membership/zone change) or the node's pointer table
+    is replaced by a refresh; superseded blocks are counted as waste and
+    the pool rebuilds itself lazily once waste dominates.
+    """
+
+    __slots__ = ("store", "tables", "epoch", "index", "ids", "lo", "hi",
+                 "n", "waste", "generation")
+
+    def __init__(self, store, tables):
+        self.store = store
+        self.tables = tables
+        self.ids = np.empty(256, dtype=np.int64)
+        self.lo = np.empty((256, store.dims), dtype=np.float64)
+        self.hi = np.empty((256, store.dims), dtype=np.float64)
+        self.generation = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self.epoch = self.store.epoch
+        #: node_id -> (start, count, table object the block was built from)
+        self.index: dict[int, tuple[int, int, object]] = {}
+        self.n = 0
+        self.waste = 0
+        #: Bumped on every reset: previously-issued block offsets become
+        #: invalid (rows are reused from 0), so batched lookups that span
+        #: a reset must re-resolve their blocks.
+        self.generation += 1
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self.ids)
+        while capacity < needed:
+            capacity *= 2
+        for name in ("ids", "lo", "hi"):
+            old = getattr(self, name)
+            shape = (capacity,) + old.shape[1:]
+            arr = np.empty(shape, dtype=old.dtype)
+            arr[: self.n] = old[: self.n]
+            setattr(self, name, arr)
+
+    def lookup(self, overlay: CANOverlay, node_id: int) -> tuple[int, int]:
+        """``(start, count)`` of the node's current candidate block."""
+        table = None if self.tables is None else self.tables.get(node_id)
+        entry = self.index.get(node_id)
+        if entry is not None and entry[2] is table:
+            return entry[0], entry[1]
+        return self.fill(overlay, node_id, table)
+
+    def fill(self, overlay: CANOverlay, node_id: int, table) -> tuple[int, int]:
+        """Build (or rebuild) the node's candidate block."""
+        entry = self.index.get(node_id)
+        if entry is not None:
+            self.waste += entry[1]
+            if self.waste > max(256, self.n // 2):
+                self.reset()
+        node = overlay.nodes[node_id]
+        cand = set(node.neighbors)
+        if table is not None:
+            cand.update(table.all_links())
+        cids = sorted(cand)
+        rows = self.store.rows_of(cids)
+        present = rows >= 0
+        rows = rows[present]
+        m = int(rows.shape[0])
+        if self.n + m > len(self.ids):
+            self._grow(self.n + m)
+        start = self.n
+        if m:
+            self.ids[start : start + m] = np.asarray(cids, dtype=np.int64)[present]
+            lo, hi = self.store.gather_bounds(rows)
+            self.lo[start : start + m] = lo
+            self.hi[start : start + m] = hi
+        self.n += m
+        self.index[node_id] = (start, m, table)
+        return start, m
+
+
+def _pool_for(overlay: CANOverlay, tables) -> _RouteBlockPool:
+    key = "plain" if tables is None else id(tables)
+    pool = overlay._route_pools.get(key)
+    if (
+        pool is None
+        or pool.store is not overlay.geometry
+        or (tables is not None and pool.tables is not tables)
+    ):
+        if tables is not None:
+            # A production overlay routes over one long-lived tables dict;
+            # fresh dicts per pass (tests, benches) must not accumulate
+            # dead pools — and each pool pins its tables dict alive, so
+            # an id() key can never be reused while its pool exists.
+            for k in [k for k in overlay._route_pools if k != "plain"]:
+                if k != key:
+                    del overlay._route_pools[k]
+        pool = _RouteBlockPool(overlay.geometry, tables)
+        overlay._route_pools[key] = pool
+    if pool.epoch != overlay.geometry.epoch:
+        pool.reset()
+    return pool
+
+
+# ----------------------------------------------------------------------
+# single-route greedy forwarding
+# ----------------------------------------------------------------------
 def greedy_path(
     overlay: CANOverlay,
     start_id: int,
     point: np.ndarray,
     max_hops: Optional[int] = None,
     extra_links: Optional[Callable[[int], list[int]]] = None,
+    link_tables: Optional[dict] = None,
 ) -> list[int]:
     """Route from ``start_id`` to the owner of ``point``.
 
     Returns the node-id path including both endpoints (length 1 when the
-    start node already owns the point).  ``extra_links`` optionally supplies
-    additional candidate next-hops per node (used by INSCAN index pointers).
+    start node already owns the point).  ``link_tables`` supplies the
+    INSCAN pointer tables whose long links augment each hop's candidates
+    (the cached fast path); ``extra_links`` is the generic per-node
+    callback form for arbitrary additional links (uncacheable — each
+    hop's candidate ids are resolved against the store on the fly).
     """
-    # Plain floats: the per-hop distance predicates index the point
-    # element-wise, where np.float64 boxing costs more than the math.
-    p = tuple(float(x) for x in np.asarray(point, dtype=np.float64))
+    p = np.asarray(point, dtype=np.float64)
+    pt = tuple(float(x) for x in p)
     if max_hops is None:
         max_hops = 4 * (len(overlay) + 1)
 
-    current = overlay.nodes[start_id]
+    current_id = start_id
     path = [start_id]
-    current_dist = current.zone.distance_to_point(p)
+    dist = _squared_distance(overlay.nodes[start_id].zone, pt) ** 0.5
 
-    while not current.zone.contains(p):
-        if current_dist == 0.0:
-            # p sits on the boundary of the current zone: finish with a
-            # perimeter walk across the zero-distance cluster.
-            path.extend(_perimeter_hops(overlay, current.node_id, p))
-            return path
-        candidates = list(current.neighbors)
-        if extra_links is not None:
-            candidates.extend(extra_links(current.node_id))
-        best_id = -1
-        best_dist = np.inf
-        for cand_id in candidates:
-            cand = overlay.nodes.get(cand_id)
-            if cand is None:
-                continue  # stale long link (churn); skip
-            d = cand.zone.distance_to_point(p)
-            if d < best_dist or (d == best_dist and cand_id < best_id):
-                best_dist = d
-                best_id = cand_id
-        if best_id < 0 or best_dist >= current_dist:
+    if extra_links is not None:
+        return _greedy_generic(
+            overlay, current_id, p, pt, dist, path, max_hops, extra_links,
+            link_tables,
+        )
+
+    pool = _pool_for(overlay, link_tables)
+    while dist != 0.0:
+        start, m = pool.lookup(overlay, current_id)
+        if m == 0:
             raise RoutingError(
-                f"no progress at node {current.node_id} toward {p} "
-                f"(dist {current_dist}, best neighbor {best_dist})"
+                f"no progress at node {current_id} toward {pt} "
+                f"(dist {dist}, no candidates)"
             )
-        current = overlay.nodes[best_id]
-        current_dist = best_dist
-        path.append(best_id)
+        lo = pool.lo[start : start + m]
+        hi = pool.hi[start : start + m]
+        clipped = np.clip(p, lo, hi)
+        np.subtract(clipped, p, out=clipped)
+        np.multiply(clipped, clipped, out=clipped)
+        accs = _sequential_row_sums(clipped)
+        best_dist, best_id = _pow_space_best(accs, pool.ids[start : start + m])
+        if best_dist >= dist:
+            raise RoutingError(
+                f"no progress at node {current_id} toward {pt} "
+                f"(dist {dist}, best candidate {best_dist})"
+            )
+        current_id = best_id
+        dist = best_dist
+        path.append(current_id)
         if len(path) > max_hops:
-            raise RoutingError(f"exceeded {max_hops} hops toward {p}")
+            raise RoutingError(f"exceeded {max_hops} hops toward {pt}")
+    return _finish_on_boundary(overlay, current_id, p, pt, path)
+
+
+def _greedy_generic(
+    overlay: CANOverlay,
+    current_id: int,
+    p: np.ndarray,
+    pt: tuple,
+    dist: float,
+    path: list[int],
+    max_hops: int,
+    extra_links: Callable[[int], list[int]],
+    link_tables: Optional[dict],
+) -> list[int]:
+    """Per-hop candidate assembly for callback-supplied extra links
+    (stale ids are dropped by the store lookup, like the scalar path
+    skipped dead candidates)."""
+    store = overlay.geometry
+    while dist != 0.0:
+        cand_ids = list(overlay.nodes[current_id].neighbors)
+        if link_tables is not None:
+            table = link_tables.get(current_id)
+            if table is not None:
+                cand_ids.extend(table.all_links())
+        cand_ids.extend(extra_links(current_id))
+        accs, _present = store.squared_distances(p, cand_ids)
+        best_acc = float(accs.min()) if cand_ids else np.inf
+        if not np.isfinite(best_acc):
+            raise RoutingError(
+                f"no progress at node {current_id} toward {pt} "
+                f"(dist {dist}, no live candidates)"
+            )
+        best_dist, best_id = _pow_space_best(accs, cand_ids)
+        if best_dist >= dist:
+            raise RoutingError(
+                f"no progress at node {current_id} toward {pt} "
+                f"(dist {dist}, best candidate {best_dist})"
+            )
+        current_id = best_id
+        dist = best_dist
+        path.append(current_id)
+        if len(path) > max_hops:
+            raise RoutingError(f"exceeded {max_hops} hops toward {pt}")
+    return _finish_on_boundary(overlay, current_id, p, pt, path)
+
+
+def _finish_on_boundary(
+    overlay: CANOverlay, current_id: int, p: np.ndarray, pt: tuple,
+    path: list[int],
+) -> list[int]:
+    """Distance hit zero: done if the half-open box owns the point, else
+    walk the zero-distance cluster."""
+    if overlay.nodes[current_id].zone.contains(pt):
+        return path
+    path.extend(_perimeter_hops(overlay, current_id, p))
     return path
 
 
+# ----------------------------------------------------------------------
+# batched greedy forwarding
+# ----------------------------------------------------------------------
+def greedy_paths(
+    overlay: CANOverlay,
+    starts: Sequence[int],
+    points: np.ndarray,
+    max_hops: Optional[int] = None,
+    link_tables: Optional[dict] = None,
+    on_error: str = "raise",
+) -> list[Optional[list[int]]]:
+    """Route a batch of queries in lockstep, one vectorized round per hop
+    front: every active route's candidate block is concatenated and the
+    per-route winners come out of two segmented reductions.  Paths are
+    bit-identical to calling :func:`greedy_path` per query.
+
+    ``on_error="none"`` records ``None`` for routes that fail (unknown
+    start node, no greedy progress, hop budget exceeded) instead of
+    raising — batched query submission uses it so one lost query cannot
+    poison the burst.
+    """
+    if on_error not in ("raise", "none"):
+        raise ValueError(f"on_error must be 'raise' or 'none', got {on_error!r}")
+    n_routes = len(starts)
+    if n_routes == 0:
+        return []
+    P = np.asarray(points, dtype=np.float64).reshape(n_routes, -1)
+    if max_hops is None:
+        max_hops = 4 * (len(overlay) + 1)
+
+    paths: list[Optional[list[int]]] = [None] * n_routes
+    errors: list[Optional[Exception]] = [None] * n_routes
+    cur = np.zeros(n_routes, dtype=np.int64)
+    dist = np.zeros(n_routes, dtype=np.float64)
+    nhops = np.zeros(n_routes, dtype=np.int64)
+    boundary: list[int] = []
+    initially_active = []
+    for r in range(n_routes):
+        sid = int(starts[r])
+        node = overlay.nodes.get(sid)
+        if node is None:
+            errors[r] = KeyError(sid)
+            continue
+        paths[r] = [sid]
+        cur[r] = sid
+        d = _squared_distance(node.zone, P[r]) ** 0.5
+        dist[r] = d
+        if d == 0.0:
+            boundary.append(r)
+        else:
+            initially_active.append(r)
+
+    pool = _pool_for(overlay, link_tables)
+    active = np.asarray(initially_active, dtype=np.intp)
+    hop_log: list[tuple[np.ndarray, np.ndarray]] = []
+    pool_index = pool.index
+    tables = link_tables
+    while active.size:
+        n_active = active.size
+        # Hot per-route loop: plain-python lists beat per-element numpy
+        # stores; entries are (start, count, table-identity) tuples.  A
+        # waste-driven pool reset mid-pass invalidates offsets resolved
+        # earlier in the same pass (rows restart from 0), so re-resolve
+        # the whole front when the generation moved — a fresh pool fills
+        # without waste, so the second pass cannot reset again.
+        cur_front = cur[active].tolist()
+        while True:
+            generation = pool.generation
+            starts_l: list[int] = []
+            counts_l: list[int] = []
+            for nid in cur_front:
+                table = None if tables is None else tables.get(nid)
+                entry = pool_index.get(nid)
+                if entry is None or entry[2] is not table:
+                    pool.fill(overlay, nid, table)
+                    pool_index = pool.index  # fill may reset the pool
+                    entry = pool_index[nid]
+                starts_l.append(entry[0])
+                counts_l.append(entry[1])
+            if pool.generation == generation:
+                break
+            pool_index = pool.index
+        block_start = np.asarray(starts_l, dtype=np.intp)
+        cnt = np.asarray(counts_l, dtype=np.intp)
+        if (cnt == 0).any():
+            # Candidate-less routes cannot progress (and would corrupt the
+            # segmented reductions): fail them, keep the rest going.
+            starved = cnt == 0
+            for r in active[starved].tolist():
+                errors[r] = RoutingError(
+                    f"no progress at node {int(cur[r])} toward "
+                    f"{tuple(P[r])} (dist {dist[r]}, no candidates)"
+                )
+            active = active[~starved]
+            block_start = block_start[~starved]
+            cnt = cnt[~starved]
+            if not active.size:
+                break
+            n_active = active.size
+        total = int(cnt.sum())
+        offs = np.zeros(n_active, dtype=np.intp)
+        np.cumsum(cnt[:-1], out=offs[1:])
+        seg = np.repeat(np.arange(n_active, dtype=np.intp), cnt)
+        idx = block_start[seg] + (np.arange(total, dtype=np.intp) - offs[seg])
+        lo = pool.lo[idx]
+        hi = pool.hi[idx]
+        p_seg = P[active][seg]
+        clipped = np.clip(p_seg, lo, hi)
+        np.subtract(clipped, p_seg, out=clipped)
+        np.multiply(clipped, clipped, out=clipped)
+        accs = _sequential_row_sums(clipped)
+        ids_at = pool.ids[idx]
+        best_acc = np.minimum.reduceat(accs, offs)
+        near = accs <= best_acc[seg] * _NEAR_TIE
+        masked_ids = np.where(near, ids_at, _INT64_MAX)
+        best_id = np.minimum.reduceat(masked_ids, offs)
+        # The decisive comparisons live in the seed's ``** 0.5`` space;
+        # segments with more than one near-tied candidate re-run the
+        # scalar (dist, id)-lexicographic selection exactly.
+        best_dist = np.array([a ** 0.5 for a in best_acc.tolist()])
+        n_near = np.add.reduceat(near.astype(np.int64), offs)
+        for j in np.flatnonzero(n_near > 1).tolist():
+            s0 = int(offs[j])
+            s1 = s0 + int(cnt[j])
+            d, b = min(
+                (float(accs[t]) ** 0.5, int(ids_at[t]))
+                for t in (np.flatnonzero(near[s0:s1]) + s0).tolist()
+            )
+            best_dist[j] = d
+            best_id[j] = b
+
+        progressed = best_dist < dist[active]
+        for r in active[~progressed].tolist():
+            errors[r] = RoutingError(
+                f"no progress at node {int(cur[r])} toward {tuple(P[r])}"
+            )
+        adv = active[progressed]
+        adv_ids = best_id[progressed]
+        adv_dist = best_dist[progressed]
+        cur[adv] = adv_ids
+        dist[adv] = adv_dist
+        nhops[adv] += 1
+        hop_log.append((adv, adv_ids))
+        overflow = nhops[adv] + 1 > max_hops
+        for r in adv[overflow].tolist():
+            errors[r] = RoutingError(f"exceeded {max_hops} hops toward {tuple(P[r])}")
+        finished = adv_dist == 0.0
+        boundary.extend(adv[finished & ~overflow].tolist())
+        active = adv[~finished & ~overflow]
+
+    for adv, adv_ids in hop_log:
+        for r, b in zip(adv.tolist(), adv_ids.tolist()):
+            if errors[r] is None:
+                paths[r].append(b)
+    for r in boundary:
+        if errors[r] is not None:
+            continue
+        last = paths[r][-1]
+        pt = tuple(float(x) for x in P[r])
+        if not overlay.nodes[last].zone.contains(pt):
+            paths[r].extend(_perimeter_hops(overlay, last, P[r]))
+
+    if on_error == "raise":
+        for err in errors:
+            if err is not None:
+                raise err
+    else:
+        for r, err in enumerate(errors):
+            if err is not None:
+                paths[r] = None
+    return paths
+
+
+# ----------------------------------------------------------------------
+# boundary perimeter walk
+# ----------------------------------------------------------------------
 def _perimeter_hops(
     overlay: CANOverlay, start_id: int, point: np.ndarray
 ) -> list[int]:
@@ -97,20 +512,24 @@ def _perimeter_hops(
     set of zones incident to the point — at most 2^d for regular corners —
     so this stays local; a global owner lookup backstops pathological
     irregular tilings (one extra charged hop, mirroring CAN's perimeter
-    forwarding)."""
+    forwarding).  Each BFS node's whole sorted neighborhood is classified
+    by one batched incidence test, visiting in the identical order to the
+    scalar reference."""
     owner_id = overlay.owner_of(point)
     if owner_id == start_id:
         return []
+    store = overlay.geometry
     seen = {start_id}
     queue: deque[tuple[int, list[int]]] = deque([(start_id, [])])
     budget = 4 ** overlay.dims  # generous cap on the incident cluster size
     while queue and budget > 0:
         node_id, hops = queue.popleft()
-        for m in sorted(overlay.nodes[node_id].neighbors):
+        nbrs = sorted(overlay.nodes[node_id].neighbors)
+        touching = store.touching_mask(point, nbrs)
+        for m, touch in zip(nbrs, touching.tolist()):
             if m in seen:
                 continue
-            zone = overlay.nodes[m].zone
-            if zone.distance_to_point(point) != 0.0:
+            if not touch:
                 continue
             seen.add(m)
             budget -= 1

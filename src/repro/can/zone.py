@@ -111,7 +111,9 @@ class Zone:
 
     def overlaps_box(self, lo: np.ndarray, hi: np.ndarray) -> bool:
         """Open-overlap with the box ``[lo, hi)`` on every dimension."""
-        return bool(np.all(self.lo < hi) and np.all(np.asarray(lo) < self.hi))
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        return bool(np.all(self.lo < hi) and np.all(lo < self.hi))
 
     # ------------------------------------------------------------------
     # splitting

@@ -40,6 +40,7 @@ class ProtocolContext:
         cmax: np.ndarray,
         availability_of: Callable[[int], np.ndarray],
         is_alive: Callable[[int], bool],
+        alive_mask: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ):
         self.sim = sim
         self.network = network
@@ -48,6 +49,18 @@ class ProtocolContext:
         self.cmax = np.asarray(cmax, dtype=np.float64)
         self.availability_of = availability_of
         self.is_alive = is_alive
+        self._alive_mask = alive_mask
+
+    def alive_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized membership test over an id array (the diffusion
+        engine filters its array-backed NINode pools with it).  Harnesses
+        may wire a natively-vectorized ``alive_mask``; the default maps
+        :attr:`is_alive` over the ids."""
+        if self._alive_mask is not None:
+            return np.asarray(self._alive_mask(ids), dtype=bool)
+        return np.fromiter(
+            (self.is_alive(int(i)) for i in ids), dtype=bool, count=len(ids)
+        )
 
     # ------------------------------------------------------------------
     # messaging

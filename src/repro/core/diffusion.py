@@ -223,18 +223,45 @@ class DiffusionEngine:
         picks = self._pick_ninodes(node, dim, 1, exclude)
         return picks[0] if picks else None
 
+    #: Below this pool size the scalar filter wins: numpy dispatch costs
+    #: more than looping a handful of ints (NINode chains hold at most
+    #: ``max_pointer_exponent + 1`` ≈ 3-5 entries at realistic n; the
+    #: vectorized branch exists for deep tables at extreme scale).
+    _VECTOR_POOL_MIN = 16
+
     def _pick_ninodes(self, node: int, dim: int, k: int, exclude: int) -> list[int]:
+        """Up to ``k`` distinct random NINodes of ``node`` along ``dim``,
+        drawn from the table's array-backed pointer pool.  Small pools
+        (the common case) filter exclusion/liveness over the cached tuple
+        mirror; large pools use one vectorized mask.  Both branches keep
+        chain order and draw-for-draw RNG compatibility with the scalar
+        reference (:class:`repro.testing.ReferenceDiffusionEngine`)."""
         table = self.tables.get(node)
         if table is None:
             return []
-        pool = [
-            t
-            for t in table.negative_index_nodes(dim)
-            if t != exclude and t != node and self.ctx.is_alive(t)
-        ]
-        if not pool:
+        members = table.negative_pool_tuple(dim)
+        if not members:
             return []
-        if len(pool) <= k:
-            return list(pool)
-        idx = self.ctx.rng.choice(len(pool), size=k, replace=False)
-        return [pool[i] for i in idx]
+        if len(members) < self._VECTOR_POOL_MIN:
+            is_alive = self.ctx.is_alive
+            pool = [
+                t for t in members
+                if t != exclude and t != node and is_alive(t)
+            ]
+            if not pool:
+                return []
+            if len(pool) <= k:
+                return pool
+            idx = self.ctx.rng.choice(len(pool), size=k, replace=False)
+            return [pool[i] for i in idx]
+        arr = table.negative_pool(dim)
+        mask = (arr != exclude) & (arr != node)
+        if mask.any():
+            mask &= self.ctx.alive_mask(arr)
+        arr = arr[mask]
+        if arr.size == 0:
+            return []
+        if arr.size <= k:
+            return arr.tolist()
+        idx = self.ctx.rng.choice(arr.size, size=k, replace=False)
+        return arr[idx].tolist()

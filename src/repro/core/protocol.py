@@ -146,13 +146,23 @@ class PIDCANParams:
 
 
 class PIDCANProtocol(DiscoveryProtocol):
-    """Proactive Index-Diffusion CAN (§III)."""
+    """Proactive Index-Diffusion CAN (§III).
 
-    def __init__(self, ctx: ProtocolContext, params: PIDCANParams):
+    ``overlay_cls`` swaps the CAN substrate: the default vectorized
+    :class:`CANOverlay` or :class:`repro.testing.ReferenceCANOverlay`
+    (the scalar oracle) for cross-checking whole experiments.
+    """
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        params: PIDCANParams,
+        overlay_cls: Optional[type] = None,
+    ):
         self.ctx = ctx
         self.params = params
         self.name = _variant_name(params)
-        self.overlay = CANOverlay(params.overlay_dims, ctx.rng)
+        self.overlay = (overlay_cls or CANOverlay)(params.overlay_dims, ctx.rng)
         self.caches: dict[int, StateCache] = {}
         self.pilists: dict[int, PIList] = {}
         self.tables: dict[int, IndexPointerTable] = {}
@@ -304,6 +314,7 @@ def make_protocol(
     name: str,
     ctx: ProtocolContext,
     params: PIDCANParams | None = None,
+    overlay_cls: Optional[type] = None,
     **baseline_kwargs,
 ) -> DiscoveryProtocol:
     """Build any evaluated protocol by its paper name.
@@ -311,6 +322,10 @@ def make_protocol(
     ``params`` seeds the PID-CAN knobs (variant flags are overridden by the
     name); baselines receive shared knobs (delta, timeout, periods) from
     ``params`` and accept protocol-specific overrides via kwargs.
+    ``overlay_cls`` swaps the CAN substrate on every CAN-routing protocol
+    (ignored by the overlay-less newscast/mercury) — tests inject the
+    scalar :class:`repro.testing.ReferenceCANOverlay` to cross-check the
+    vectorized geometry end to end.
     """
     base = params or PIDCANParams()
     key = name.lower()
@@ -321,6 +336,7 @@ def make_protocol(
             ctx,
             replace(base, diffusion_method=method,
                     sos="+sos" in key, vd="+vd" in key),
+            overlay_cls=overlay_cls,
         )
     if key == "newscast":
         from repro.baselines.newscast import NewscastProtocol
@@ -329,11 +345,12 @@ def make_protocol(
     if key == "khdn-can":
         from repro.baselines.khdn import KHDNProtocol
 
-        return KHDNProtocol(ctx, base, **baseline_kwargs)
+        return KHDNProtocol(ctx, base, overlay_cls=overlay_cls, **baseline_kwargs)
     if key == "randomwalk-can":
         from repro.baselines.randomwalk import RandomWalkProtocol
 
-        return RandomWalkProtocol(ctx, base, **baseline_kwargs)
+        return RandomWalkProtocol(ctx, base, overlay_cls=overlay_cls,
+                                  **baseline_kwargs)
     if key == "mercury":
         from repro.baselines.mercury import MercuryProtocol
 
@@ -341,5 +358,6 @@ def make_protocol(
     if key == "inscan-rq":
         from repro.baselines.inscan_rq import InscanRQProtocol
 
-        return InscanRQProtocol(ctx, base, **baseline_kwargs)
+        return InscanRQProtocol(ctx, base, overlay_cls=overlay_cls,
+                                **baseline_kwargs)
     raise ValueError(f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}")

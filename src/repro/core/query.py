@@ -52,7 +52,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.can.inscan import IndexPointerTable, inscan_path
+from repro.can.inscan import IndexPointerTable, inscan_path, inscan_paths
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
@@ -118,14 +118,23 @@ class QueryEngine:
         ``callback(records, messages)`` fires exactly once with the deduped
         qualified records (possibly empty = failed task).
         """
+        rt = self._begin(demand, requester, callback)
+        self._launch(rt)
+        return rt.qid
+
+    def _begin(
+        self,
+        demand: np.ndarray,
+        requester: int,
+        callback: Callable[[list[StateRecord], int], None],
+    ) -> QueryRuntime:
         rt = self.lifecycle.begin(demand, requester, callback)
         if self.params.sos:
             rt.v = slack_expectation(
                 rt.demand, self.ctx.cmax, self.ctx.rng, self.params.sos_bias
             )
             rt.sos_attempted = True
-        self._launch(rt)
-        return rt.qid
+        return rt
 
     def submit_many(
         self,
@@ -138,10 +147,49 @@ class QueryEngine:
         ``callback(results)`` fires exactly once after every query in the
         batch has finalized, with ``results[i] = (records, messages)`` for
         ``demands[i]`` in submission order.  Returns the per-query qids.
+
+        The whole burst launches at the same instant, so the duty-query
+        routes are computed in one batched lockstep pass
+        (:func:`~repro.can.inscan.inscan_paths`) — routing consumes no
+        randomness and per-query RNG draws (SoS slack, VD coordinate)
+        happen in submission order first, so every path, message charge
+        and delivery event is identical to submitting the queries one by
+        one.
         """
-        return submit_batch(
-            lambda d, cb: self.submit(d, requester, cb), demands, callback
+        rts: list[QueryRuntime] = []
+        points_l: list[np.ndarray] = []
+
+        def start(demand: np.ndarray, cb) -> int:
+            # Per-query draws (SoS slack inside _begin, then the VD
+            # coordinate) happen here, interleaved per query exactly as a
+            # sequential submit loop would interleave them.
+            rt = self._begin(demand, requester, cb)
+            rts.append(rt)
+            points_l.append(self._query_point(rt.v))
+            return rt.qid
+
+        qids = submit_batch(start, demands, callback)
+        if not rts:
+            return qids
+        if not self.ctx.is_alive(requester):
+            for rt in rts:
+                self._resolve(rt, False)
+            return qids
+        points = np.asarray(points_l)
+        paths = inscan_paths(
+            self.overlay, self.tables, [requester] * len(rts), points,
+            on_error="none",
         )
+        for rt, path in zip(rts, paths):
+            if path is None:
+                # Overlay under repair (churn); the query is lost.
+                self._resolve(rt, False)
+                continue
+            rt.messages += max(0, len(path) - 1)
+            self.ctx.send_path(
+                "duty-query", path, self._on_duty, rt.qid, path[-1]
+            )
+        return qids
 
     def active_queries(self) -> int:
         return self.lifecycle.active_queries()

@@ -143,10 +143,14 @@ class SOCSimulation:
 
     ``engine`` defaults to the vectorized :class:`HostEngine`; tests pass
     :class:`repro.testing.ReferenceHostEngine` to cross-check the scalar
-    execution substrate under the identical driver.
+    execution substrate under the identical driver.  ``overlay_cls``
+    likewise swaps the CAN overlay substrate on every CAN-routing
+    protocol: the vectorized default or
+    :class:`repro.testing.ReferenceCANOverlay` for the scalar
+    cross-check.
     """
 
-    def __init__(self, config: ExperimentConfig, engine=None):
+    def __init__(self, config: ExperimentConfig, engine=None, overlay_cls=None):
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.sim = Simulator()
@@ -200,7 +204,8 @@ class SOCSimulation:
             is_alive=self.is_alive,
         )
         self.protocol = make_protocol(
-            config.protocol, self.ctx, config.pidcan, **config.protocol_kwargs
+            config.protocol, self.ctx, config.pidcan,
+            overlay_cls=overlay_cls, **config.protocol_kwargs
         )
         if self.protocol.lifecycle is not None:
             # Timeout-failure accounting: each query resolved by the

@@ -11,29 +11,42 @@ exploration use to drive Algorithms 1-5 one step at a time::
     engine = QueryEngine(sandbox.ctx, sandbox.overlay, sandbox.tables,
                          sandbox.caches, sandbox.pilists, QueryParams())
 
-The module also keeps the seed's scalar implementations of the two
+The module also keeps the seed's scalar implementations of the
 vectorized hot paths, verbatim, as equivalence oracles:
 
 - :class:`ReferenceStateCache` — the dict-of-records duty-node cache γ,
   against :class:`repro.core.state.StateCache`;
 - :class:`ReferenceNodeExecutor` / :class:`ReferenceHostEngine` — the
   per-host dict-of-tasks PSM executor (and a thin engine-API shim over a
-  fleet of them), against :class:`repro.cloud.engine.HostEngine`.
+  fleet of them), against :class:`repro.cloud.engine.HostEngine`;
+- :class:`ReferenceZone` / :func:`reference_adjacency_direction` /
+  :class:`ReferenceCANOverlay` / :func:`reference_greedy_path` — the
+  per-object scalar CAN geometry, per-call adjacency recomputation and
+  per-candidate greedy routing loop, against
+  :class:`repro.can.geometry.ZoneStore`-backed batched routing (see
+  ``docs/can_geometry.md``; :func:`assert_overlays_equivalent` drives
+  randomized join/leave/route/diffuse schedules against both);
+- :class:`ReferenceDiffusionEngine` — the list-comprehension NINode pool
+  filter, against the array-backed
+  :class:`repro.core.diffusion.DiffusionEngine` pools.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.can.inscan import build_index_table
 from repro.can.overlay import CANOverlay
+from repro.can.routing import RoutingError, greedy_path, greedy_paths
 from repro.cloud.psm import DEFAULT_OVERHEAD, VMOverhead, effective_capacity
 from repro.cloud.tasks import N_WORK_DIMS, Task
 from repro.core.context import ProtocolContext
+from repro.core.diffusion import DiffusionEngine
 from repro.core.pilist import PIList
 from repro.core.state import StateCache, StateRecord
 from repro.metrics.traffic import TrafficMeter
@@ -45,8 +58,17 @@ __all__ = [
     "ReferenceStateCache",
     "ReferenceNodeExecutor",
     "ReferenceHostEngine",
+    "ReferenceZone",
+    "ReferenceCANOverlay",
+    "ReferenceDiffusionEngine",
     "RunningTask",
     "assert_engines_equivalent",
+    "assert_overlays_equivalent",
+    "reference_adjacency_direction",
+    "reference_is_negative_direction_of",
+    "reference_distance_to_point",
+    "reference_greedy_path",
+    "reference_inscan_path",
 ]
 
 #: Work below this is treated as done (guards float round-off at completion).
@@ -512,6 +534,397 @@ def assert_engines_equivalent(
     return stats
 
 
+# ----------------------------------------------------------------------
+# scalar CAN geometry / routing oracles (the seed implementations,
+# preserved verbatim)
+# ----------------------------------------------------------------------
+class ReferenceZone:
+    """The seed's per-object scalar zone predicates, kept verbatim as the
+    behavioural oracle for :class:`repro.can.geometry.ZoneStore`: plain
+    tuple arithmetic, dimension-ordered gap accumulation, ``acc ** 0.5``."""
+
+    __slots__ = ("lo", "hi", "_lo", "_hi")
+
+    def __init__(self, lo, hi):
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("lo/hi must be 1-D arrays of equal length")
+        if bool(np.any(hi <= lo)):
+            raise ValueError(f"degenerate zone lo={lo} hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self._lo = tuple(lo.tolist())
+        self._hi = tuple(hi.tolist())
+
+    def contains(self, point) -> bool:
+        """Half-open containment; the unit cube's top faces are closed."""
+        lo, hi = self._lo, self._hi
+        for k in range(len(lo)):
+            v = point[k]
+            if v < lo[k]:
+                return False
+            if v >= hi[k] and not (v == hi[k] == 1.0):
+                return False
+        return True
+
+    def distance_to_point(self, point) -> float:
+        return reference_distance_to_point(self, point)
+
+
+def reference_distance_to_point(zone, point) -> float:
+    """The seed's scalar box distance (any object exposing ``_lo``/``_hi``
+    tuples — :class:`repro.can.zone.Zone` or :class:`ReferenceZone`)."""
+    lo, hi = zone._lo, zone._hi
+    acc = 0.0
+    for k in range(len(lo)):
+        v = point[k]
+        if v < lo[k]:
+            gap = lo[k] - v
+        elif v > hi[k]:
+            gap = v - hi[k]
+        else:
+            continue
+        acc += gap * gap
+    return acc ** 0.5
+
+
+def reference_adjacency_direction(a, b) -> Optional[tuple[int, int]]:
+    """The seed's scalar CAN-neighborship test, verbatim."""
+    a_lo, a_hi = a._lo, a._hi
+    b_lo, b_hi = b._lo, b._hi
+    abut_dim: Optional[tuple[int, int]] = None
+    for k in range(len(a_lo)):
+        if a_hi[k] == b_lo[k]:
+            sign = +1
+        elif b_hi[k] == a_lo[k]:
+            sign = -1
+        else:
+            # must openly overlap on this dimension
+            if a_lo[k] < b_hi[k] and b_lo[k] < a_hi[k]:
+                continue
+            return None
+        if abut_dim is not None:
+            return None  # abuts on two dimensions: corner contact only
+        abut_dim = (k, sign)
+    return abut_dim
+
+
+def reference_is_negative_direction_of(b, a) -> bool:
+    """The seed's scalar negative-direction test (§III-A), verbatim."""
+    b_lo, a_hi = b._lo, a._hi
+    for k in range(len(b_lo)):
+        if b_lo[k] >= a_hi[k]:
+            return False
+    return True
+
+
+class ReferenceCANOverlay(CANOverlay):
+    """Scalar oracle overlay: identical membership/tree mechanics, but
+    adjacency is recomputed per call and per candidate with the verbatim
+    scalar predicate — no batched geometry, no cached edge directions.
+    Routed with :func:`reference_greedy_path` it reproduces the seed's
+    behaviour end to end; the lockstep equivalence suites drive it next
+    to the vectorized :class:`~repro.can.overlay.CANOverlay`."""
+
+    _caches_directions = False
+
+    def directional_neighbors(
+        self, node_id: int, dim: int, sign: int
+    ) -> list[int]:
+        node = self.nodes[node_id]
+        out = []
+        for m in node.neighbors:
+            d = reference_adjacency_direction(node.zone, self.nodes[m].zone)
+            if d is not None and d == (dim, sign):
+                out.append(m)
+        out.sort()
+        return out
+
+    def _rebind_neighbors(self, node_id: int, candidates: set[int]) -> None:
+        node = self.nodes[node_id]
+        for cand_id in candidates:
+            if cand_id == node_id:
+                continue
+            cand = self.nodes.get(cand_id)
+            if cand is None:
+                continue
+            if reference_adjacency_direction(node.zone, cand.zone) is not None:
+                node.neighbors.add(cand_id)
+                cand.neighbors.add(node_id)
+            else:
+                node.neighbors.discard(cand_id)
+                cand.neighbors.discard(node_id)
+
+
+def reference_greedy_path(
+    overlay: CANOverlay,
+    start_id: int,
+    point: np.ndarray,
+    max_hops: Optional[int] = None,
+    extra_links: Optional[Callable[[int], list[int]]] = None,
+) -> list[int]:
+    """The seed's per-candidate greedy forwarding loop, verbatim: one
+    scalar ``distance_to_point`` per candidate per hop, lowest-id
+    tie-break, scalar perimeter walk.  Runs against either overlay class
+    (it only reads zones and neighbor sets)."""
+    # Plain floats: the per-hop distance predicates index the point
+    # element-wise, where np.float64 boxing costs more than the math.
+    p = tuple(float(x) for x in np.asarray(point, dtype=np.float64))
+    if max_hops is None:
+        max_hops = 4 * (len(overlay) + 1)
+
+    current = overlay.nodes[start_id]
+    path = [start_id]
+    current_dist = reference_distance_to_point(current.zone, p)
+
+    while not current.zone.contains(p):
+        if current_dist == 0.0:
+            # p sits on the boundary of the current zone: finish with a
+            # perimeter walk across the zero-distance cluster.
+            path.extend(_reference_perimeter_hops(overlay, current.node_id, p))
+            return path
+        candidates = list(current.neighbors)
+        if extra_links is not None:
+            candidates.extend(extra_links(current.node_id))
+        best_id = -1
+        best_dist = np.inf
+        for cand_id in candidates:
+            cand = overlay.nodes.get(cand_id)
+            if cand is None:
+                continue  # stale long link (churn); skip
+            d = reference_distance_to_point(cand.zone, p)
+            if d < best_dist or (d == best_dist and cand_id < best_id):
+                best_dist = d
+                best_id = cand_id
+        if best_id < 0 or best_dist >= current_dist:
+            raise RoutingError(
+                f"no progress at node {current.node_id} toward {p} "
+                f"(dist {current_dist}, best neighbor {best_dist})"
+            )
+        current = overlay.nodes[best_id]
+        current_dist = best_dist
+        path.append(best_id)
+        if len(path) > max_hops:
+            raise RoutingError(f"exceeded {max_hops} hops toward {p}")
+    return path
+
+
+def _reference_perimeter_hops(
+    overlay: CANOverlay, start_id: int, point
+) -> list[int]:
+    """The seed's scalar boundary walk, verbatim."""
+    owner_id = overlay.owner_of(point)
+    if owner_id == start_id:
+        return []
+    seen = {start_id}
+    queue: deque[tuple[int, list[int]]] = deque([(start_id, [])])
+    budget = 4 ** overlay.dims  # generous cap on the incident cluster size
+    while queue and budget > 0:
+        node_id, hops = queue.popleft()
+        for m in sorted(overlay.nodes[node_id].neighbors):
+            if m in seen:
+                continue
+            zone = overlay.nodes[m].zone
+            if reference_distance_to_point(zone, point) != 0.0:
+                continue
+            seen.add(m)
+            budget -= 1
+            if m == owner_id:
+                return hops + [m]
+            queue.append((m, hops + [m]))
+    # Backstop: jump straight to the owner (counts as one hop).
+    return [owner_id]
+
+
+def reference_inscan_path(
+    overlay: CANOverlay,
+    tables: dict,
+    start_id: int,
+    point: np.ndarray,
+    max_hops: Optional[int] = None,
+) -> list[int]:
+    """The seed's INSCAN routing, verbatim: greedy over neighbors ∪ the
+    per-node pointer-table links supplied through the callback form."""
+
+    def extra(node_id: int) -> list[int]:
+        table = tables.get(node_id)
+        return table.all_links() if table is not None else []
+
+    return reference_greedy_path(
+        overlay, start_id, point, max_hops=max_hops, extra_links=extra
+    )
+
+
+class ReferenceDiffusionEngine(DiffusionEngine):
+    """Scalar oracle for the diffusion engine's NINode selection: the
+    seed's list-comprehension pool filter, verbatim (same RNG draw
+    discipline, so identically-seeded engines stay stream-compatible
+    with the array-backed production path)."""
+
+    def _pick_ninodes(self, node: int, dim: int, k: int, exclude: int) -> list[int]:
+        table = self.tables.get(node)
+        if table is None:
+            return []
+        pool = [
+            t
+            for t in table.negative_index_nodes(dim)
+            if t != exclude and t != node and self.ctx.is_alive(t)
+        ]
+        if not pool:
+            return []
+        if len(pool) <= k:
+            return list(pool)
+        idx = self.ctx.rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in idx]
+
+
+# ----------------------------------------------------------------------
+# randomized overlay lockstep schedule
+# ----------------------------------------------------------------------
+def _diffusion_rig(overlay: CANOverlay, engine_cls, seed: int, dead: set[int]):
+    """A DiffusionEngine over ``overlay``'s freshly-built tables with its
+    own deterministic context (twin rigs share ``dead`` and seeds)."""
+    sim = Simulator()
+    ctx = ProtocolContext(
+        sim=sim,
+        network=NetworkModel(NetworkParams(), np.random.default_rng(seed + 1)),
+        traffic=TrafficMeter(),
+        rng=np.random.default_rng(seed + 2),
+        cmax=np.ones(overlay.dims),
+        availability_of=lambda i: np.zeros(overlay.dims),
+        is_alive=lambda i: i not in dead,
+    )
+    tables = {
+        i: build_index_table(overlay, i, np.random.default_rng(seed + 3 + i))
+        for i in sorted(overlay.nodes)
+    }
+    pilists = {i: PIList(1200.0) for i in sorted(overlay.nodes)}
+    return engine_cls(ctx, tables, pilists, overlay.dims, L=2), tables
+
+
+def assert_overlays_equivalent(
+    seed: int,
+    n: int = 32,
+    dims: int = 3,
+    steps: int = 60,
+    routes_per_check: int = 8,
+) -> dict:
+    """Drive the vectorized :class:`~repro.can.overlay.CANOverlay` and the
+    scalar :class:`ReferenceCANOverlay` through one identically-seeded
+    randomized schedule of joins, leaves, greedy/INSCAN routes (single and
+    batched, including exact-boundary targets) and SID/HID diffusion
+    triggers, asserting they stay indistinguishable: identical adjacency
+    sets, directional neighbor lists, routing paths (hop for hop) and
+    diffusion recipients/messages/depth.
+
+    Raises ``AssertionError`` on the first divergence; returns summary
+    counters (used by the equivalence tests and the pre-commit smoke).
+    """
+    rng = np.random.default_rng(seed)
+    vec = CANOverlay(dims, np.random.default_rng(seed + 1))
+    ref = ReferenceCANOverlay(dims, np.random.default_rng(seed + 1))
+    vec.bootstrap(range(n))
+    ref.bootstrap(range(n))
+    next_id = n
+    stats = {"joined": 0, "left": 0, "routes": 0, "boundary_routes": 0,
+             "diffusions": 0}
+
+    def check_structure() -> None:
+        assert set(vec.nodes) == set(ref.nodes)
+        for node_id in vec.nodes:
+            assert vec.nodes[node_id].neighbors == ref.nodes[node_id].neighbors, (
+                f"adjacency diverged at node {node_id}"
+            )
+            for dim in range(dims):
+                for sign in (+1, -1):
+                    assert (
+                        vec.directional_neighbors(node_id, dim, sign)
+                        == ref.directional_neighbors(node_id, dim, sign)
+                    ), f"directional neighbors diverged at {node_id}"
+        vec.check_invariants()
+
+    def check_routes() -> None:
+        ids = sorted(vec.nodes)
+        starts = [ids[int(rng.integers(len(ids)))] for _ in range(routes_per_check)]
+        points = rng.uniform(0, 1, (routes_per_check, dims))
+        # a couple of exact-boundary targets to force perimeter walks
+        for j in range(min(2, routes_per_check)):
+            points[j] = np.round(points[j] * 4) / 4
+            stats["boundary_routes"] += 1
+        vec_tables = {
+            i: build_index_table(vec, i, np.random.default_rng(seed + 7 + i))
+            for i in ids
+        }
+        ref_tables = {
+            i: build_index_table(ref, i, np.random.default_rng(seed + 7 + i))
+            for i in ids
+        }
+        for s, p in zip(starts, points):
+            got = greedy_path(vec, s, p)
+            want = reference_greedy_path(ref, s, p)
+            assert got == want, f"greedy path diverged from {s} to {p}"
+            got = greedy_path(vec, s, p, link_tables=vec_tables)
+            want = reference_inscan_path(ref, ref_tables, s, p)
+            assert got == want, f"inscan path diverged from {s} to {p}"
+            stats["routes"] += 2
+        batch = greedy_paths(vec, starts, points, link_tables=vec_tables)
+        singles = [
+            greedy_path(vec, s, p, link_tables=vec_tables)
+            for s, p in zip(starts, points)
+        ]
+        assert batch == singles, "batched routing diverged from single-route"
+
+    def check_diffusion() -> None:
+        dead: set[int] = set()
+        ids = sorted(vec.nodes)
+        if len(ids) > 4:
+            dead.add(ids[int(rng.integers(len(ids)))])
+        vec_engine, vec_tables = _diffusion_rig(
+            vec, DiffusionEngine, seed + 11, dead
+        )
+        ref_engine, ref_tables = _diffusion_rig(
+            ref, ReferenceDiffusionEngine, seed + 11, dead
+        )
+        for node_id in ids:
+            assert (
+                vec_tables[node_id].links == ref_tables[node_id].links
+            ), f"pointer table diverged at {node_id}"
+        for origin in ids[:: max(1, len(ids) // 6)]:
+            for method in ("hid", "sid"):
+                got = vec_engine.diffuse(origin, method)
+                want = ref_engine.diffuse(origin, method)
+                assert got.recipients == want.recipients, (
+                    f"{method} recipients diverged from {origin}"
+                )
+                assert got.messages == want.messages
+                assert got.max_depth == want.max_depth
+                stats["diffusions"] += 1
+
+    check_structure()
+    for step in range(steps):
+        op = rng.random()
+        if op < 0.5 or len(vec) <= 2:
+            point = rng.uniform(0, 1, dims)
+            vec.join(next_id, point)
+            ref.join(next_id, point)
+            next_id += 1
+            stats["joined"] += 1
+        else:
+            ids = sorted(vec.nodes)
+            victim = ids[int(rng.integers(len(ids)))]
+            vec.leave(victim)
+            ref.leave(victim)
+            stats["left"] += 1
+        if step % 7 == 0:
+            check_structure()
+            check_routes()
+    check_structure()
+    check_routes()
+    check_diffusion()
+    return stats
+
+
 class ProtocolSandbox:
     """Overlay + context + per-node protocol state, minus the SOC runner."""
 
@@ -523,6 +936,7 @@ class ProtocolSandbox:
         cmax: np.ndarray | None = None,
         state_ttl: float = 600.0,
         pilist_ttl: float = 1200.0,
+        overlay_cls: type | None = None,
     ):
         self.sim = Simulator()
         rng = np.random.default_rng(seed)
@@ -532,7 +946,7 @@ class ProtocolSandbox:
         self.availability: dict[int, np.ndarray] = {}
         self.cmax = np.ones(dims) if cmax is None else np.asarray(cmax, float)
 
-        self.overlay = CANOverlay(dims, rng)
+        self.overlay = (overlay_cls or CANOverlay)(dims, rng)
         self.overlay.bootstrap(range(n))
         for node_id in range(n):
             self.network.add_node(node_id)

@@ -128,6 +128,16 @@ def test_overlaps_box():
     assert not z.overlaps_box(np.array([0.0, 0.6]), np.array([1.0, 1.0]))
 
 
+def test_overlaps_box_accepts_plain_sequences():
+    # Regression: both operands are normalized — the original coerced
+    # ``lo`` but compared the raw ``hi`` argument.
+    z = zone([0.25, 0.25], [0.5, 0.5])
+    assert z.overlaps_box([0.0, 0.0], [0.3, 0.3])
+    assert not z.overlaps_box([0.5, 0.5], [1.0, 1.0])
+    assert not z.overlaps_box((0.0, 0.6), (1.0, 1.0))
+    assert z.overlaps_box([0, 0], [1, 1])  # integer entries coerce too
+
+
 def test_center_volume_side():
     z = zone([0.0, 0.5], [0.5, 1.0])
     assert np.allclose(z.center, [0.25, 0.75])

@@ -132,6 +132,67 @@ def test_submit_many_empty_batch_completes_immediately():
     assert calls == [[]]
 
 
+def test_submit_many_batched_routing_matches_sequential():
+    """submit_many routes the whole burst in one lockstep pass; every
+    observable — per-query records, message counts, traffic by kind, the
+    simulated clock of the fan-in — must equal submitting one by one on a
+    twin harness (same seeds), for plain, SoS and VD engines."""
+    for overrides in (
+        {}, {"sos": True}, {"vd": True}, {"sos": True, "vd": True}
+    ):
+        # VD pads the overlay by one virtual dimension (2 resource + 1)
+        dims = 3 if overrides.get("vd") else 2
+        h_batch = Harness(n=48, dims=dims, seed=21, cmax=np.ones(2))
+        h_seq = Harness(n=48, dims=dims, seed=21, cmax=np.ones(2))
+        eng_batch = make_engine(h_batch, **overrides)
+        eng_seq = make_engine(h_seq, **overrides)
+        demands = [
+            np.array([0.2, 0.3]), np.array([0.6, 0.6]), np.array([0.5, 0.25]),
+            np.array([0.5, 0.5]),  # boundary-exact duty point
+        ]
+        if dims == 2:
+            for h in (h_batch, h_seq):
+                h.plant_record(h.duty_of([0.25, 0.35]), 301, [0.3, 0.4])
+                h.plant_record(h.duty_of([0.7, 0.7]), 302, [0.75, 0.75])
+        batch_calls = []
+        seq_results = [None] * len(demands)
+        eng_batch.submit_many(demands, 0, batch_calls.append)
+        for i, d in enumerate(demands):
+            # pin each callback to its submission slot (callbacks fire in
+            # completion order, the batch reports in submission order)
+            eng_seq.submit(
+                d, 0, lambda r, m, i=i: seq_results.__setitem__(i, (r, m))
+            )
+        h_batch.sim.run(until=600.0)
+        h_seq.sim.run(until=600.0)
+        assert len(batch_calls) == 1 and None not in seq_results
+        got = [
+            ([r.owner for r in records], messages)
+            for records, messages in batch_calls[0]
+        ]
+        want = [
+            ([r.owner for r in records], messages)
+            for records, messages in seq_results
+        ]
+        assert got == want, f"burst diverged from sequential ({overrides})"
+        assert (
+            h_batch.traffic.kind_snapshot() == h_seq.traffic.kind_snapshot()
+        ), f"traffic diverged ({overrides})"
+
+
+def test_submit_many_dead_requester_resolves_all_queries():
+    h = Harness(n=24, dims=2, seed=22)
+    engine = make_engine(h)
+    h.kill(0)
+    calls = []
+    engine.submit_many(
+        [np.array([0.4, 0.4]), np.array([0.6, 0.2])], 0, calls.append
+    )
+    h.sim.run(until=600.0)
+    assert len(calls) == 1
+    assert all(records == [] for records, _ in calls[0])
+
+
 def test_protocol_submit_many_default_fans_out():
     """Baselines inherit the DiscoveryProtocol default, which batches over
     plain submit_query (RandomWalkProtocol does not override it)."""

@@ -220,3 +220,46 @@ def test_engine_matches_reference_under_churn_eviction():
     )
     res = _cross_check(cfg)
     assert res.evicted > 0
+
+
+# ----------------------------------------------------------------------
+# CAN-overlay equivalence at scenario level
+# ----------------------------------------------------------------------
+def _cross_check_overlay(cfg):
+    """Run one config on the vectorized and the scalar CAN substrates;
+    identical routing paths make every downstream event (and so every
+    metric) identical."""
+    from repro.testing import ReferenceCANOverlay
+
+    vec = SOCSimulation(cfg).run()
+    ref = SOCSimulation(cfg, overlay_cls=ReferenceCANOverlay).run()
+    assert vec.summary() == pytest.approx(ref.summary(), abs=1e-9)
+    assert vec.generated == ref.generated
+    assert vec.placed == ref.placed
+    assert vec.traffic_by_kind == ref.traffic_by_kind
+    for key in vec.series:
+        assert vec.series[key].times == ref.series[key].times
+        assert vec.series[key].values == pytest.approx(
+            ref.series[key].values, abs=1e-9, nan_ok=True
+        )
+    return vec
+
+
+@pytest.mark.parametrize("protocol", ["hid-can", "inscan-rq"])
+def test_overlay_matches_reference_on_micro_run(protocol):
+    """Tier-1 cross-check of the ZoneStore tentpole: a micro run is
+    bit-for-bit identical on the vectorized overlay and the verbatim
+    scalar reference overlay, for both the PID-CAN query chain and a
+    routing-heavy flooding baseline."""
+    cfg = ExperimentConfig(**{**MICRO, "protocol": protocol})
+    res = _cross_check_overlay(cfg)
+    assert res.generated > 0
+
+
+def test_overlay_matches_reference_under_churn():
+    """Join/leave repair (takeover, rebinds, direction caches) must keep
+    the substrates aligned while routes and tables refresh mid-churn."""
+    cfg = ExperimentConfig(
+        **{**MICRO, "protocol": "sid-can", "churn_degree": 0.5}
+    )
+    _cross_check_overlay(cfg)

@@ -56,3 +56,16 @@ def test_host_engine_equivalence_smoke():
 
     stats = assert_engines_equivalent(seed=1, n_hosts=8, steps=120)
     assert stats["placed"] > 0 and stats["completed"] > 0
+
+
+def test_zone_store_equivalence_smoke():
+    """Fast-gate smoke of the overlay substrate: one short randomized
+    join/leave/route/diffuse schedule through both the vectorized
+    ZoneStore-backed overlay and the verbatim scalar reference must stay
+    indistinguishable — identical adjacency, routing paths (hop for hop)
+    and diffusion recipients (the heavy suites live in
+    tests/can/test_overlay_equivalence.py and test_overlay_stateful.py)."""
+    from repro.testing import assert_overlays_equivalent
+
+    stats = assert_overlays_equivalent(seed=1, n=20, dims=3, steps=21)
+    assert stats["routes"] > 0 and stats["diffusions"] > 0
