@@ -12,12 +12,20 @@ traffic); subclasses add their query strategy on top and may hook
 
 from __future__ import annotations
 
-from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from typing import Sequence
+
+import numpy as np
+
+from repro.can.inscan import (
+    IndexPointerTable, build_index_table, inscan_path, inscan_paths,
+)
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
 from repro.core.lifecycle import QueryLifecycle
-from repro.core.protocol import DiscoveryProtocol, PIDCANParams
+from repro.core.protocol import (
+    DiscoveryProtocol, PIDCANParams, arm_grid_chain, quantize_phase,
+)
 from repro.core.state import StateCache, StateRecord
 
 __all__ = ["CANStateBaseline"]
@@ -42,6 +50,9 @@ class CANStateBaseline(DiscoveryProtocol):
         self.caches: dict[int, StateCache] = {}
         self.tables: dict[int, IndexPointerTable] = {}
         self.lifecycle = QueryLifecycle(ctx, params.query_timeout)
+        #: phase -> shared state-update CohortTimer (cohort mode only).
+        self._cohorts: dict[float, "object"] = {}
+        self._memberships: dict[int, list] = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -54,8 +65,7 @@ class CANStateBaseline(DiscoveryProtocol):
         # PID-CAN's bootstrap).
         for node_id in node_ids:
             self.tables[node_id] = build_index_table(self.overlay, node_id, self.ctx.rng)
-        for node_id in node_ids:
-            self._arm_state_updates(node_id)
+        self._arm_all(node_ids)
 
     def on_join(self, node_id: int) -> None:
         self.overlay.join(node_id)
@@ -63,17 +73,51 @@ class CANStateBaseline(DiscoveryProtocol):
         table = build_index_table(self.overlay, node_id, self.ctx.rng)
         self.tables[node_id] = table
         self.ctx.charge_local("maintenance", node_id, table.build_messages)
-        self._arm_state_updates(node_id)
+        self._arm_all([node_id])
 
     def on_leave(self, node_id: int) -> None:
         if node_id in self.overlay:
             self.overlay.leave(node_id)
         self.caches.pop(node_id, None)
         self.tables.pop(node_id, None)
+        for timer in self._memberships.pop(node_id, ()):
+            timer.discard(node_id)
 
     # ------------------------------------------------------------------
     # periodic state updates (self-chaining so they die with the node)
     # ------------------------------------------------------------------
+    def _arm_all(self, node_ids: Sequence[int]) -> None:
+        """Single-activity twin of ``PIDCANProtocol._arm_all``: phase
+        draws stay node-major, and with buckets the nodes share grid
+        instants across both tick modes."""
+        params = self.params
+        period = params.state_period
+        if params.phase_buckets == 0:
+            for node_id in node_ids:
+                self._arm_state_updates(node_id)
+            return
+        for node_id in node_ids:
+            phase = quantize_phase(
+                self.ctx.rng.uniform(0, period), period, params.phase_buckets
+            )
+            if params.tick_mode == "cohort":
+                timer = self._cohorts.get(phase)
+                if timer is None:
+                    timer = self.ctx.sim.periodic_cohort(
+                        period, self._state_round, epoch=phase
+                    )
+                    self._cohorts[phase] = timer
+                timer.add(node_id)
+                self._memberships.setdefault(node_id, []).append(timer)
+            else:
+                arm_grid_chain(
+                    self.ctx.sim, period, phase,
+                    lambda node_id=node_id: (
+                        self.ctx.is_alive(node_id) and node_id in self.overlay
+                    ),
+                    lambda node_id=node_id: self._state_update(node_id),
+                )
+
     def _arm_state_updates(self, node_id: int) -> None:
         period = self.params.state_period
 
@@ -84,6 +128,38 @@ class CANStateBaseline(DiscoveryProtocol):
             self.ctx.sim.schedule(period, tick)
 
         self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+
+    def _state_round(self, members: Sequence[int]) -> None:
+        """One cohort state-update round: records in member order, routes
+        in one batched :func:`inscan_paths` pass, sends in member order —
+        event-identical to per-node ticking at the same instants."""
+        live = [
+            m for m in members
+            if self.ctx.is_alive(m) and m in self.overlay
+        ]
+        if not live:
+            return
+        now = self.ctx.sim.now
+        avail = self.ctx.availability_matrix(live)
+        records = [
+            StateRecord(node_id, avail[i].copy(), now)
+            for i, node_id in enumerate(live)
+        ]
+        points = np.clip(avail / self.ctx.cmax, 0.0, 1.0)
+        paths = inscan_paths(
+            self.overlay, self.tables, live, points, on_error="none",
+        )
+        routed = [
+            (record, path) for record, path in zip(records, paths)
+            if path is not None  # overlay mid-repair; next round retries
+        ]
+        if routed:
+            self.ctx.send_path_batch(
+                "state-update",
+                [path for _, path in routed],
+                self._deliver_state,
+                [(path[-1], record) for record, path in routed],
+            )
 
     def _state_update(self, node_id: int) -> None:
         availability = self.ctx.availability_of(node_id)

@@ -146,6 +146,39 @@ class ZoneStore:
         if self._dead > _COMPACT_FLOOR and self._dead > self._n - self._dead:
             self._compact()
 
+    def footprint_bytes(self) -> int:
+        """Bytes held by the SoA arrays (bounds, ids, liveness, dense id
+        map — the dominant storage at overlay scale)."""
+        return (
+            self._lo.nbytes + self._hi.nbytes + self._ids.nbytes
+            + self._live.nbytes + self._row_by_id.nbytes
+        )
+
+    def trim(self) -> int:
+        """Release slack: compact dead rows and shrink the bound/id arrays
+        and the dense id map to their live extents.  Returns the number of
+        bytes released.  Bumps ``epoch`` only when rows actually moved, so
+        derived caches invalidate exactly when geometry layout changed."""
+        before = self.footprint_bytes()
+        if self._dead:
+            self._compact()
+            self.epoch += 1
+        capacity = max(_MIN_CAPACITY, self._n)
+        if self._lo.shape[0] > capacity:
+            self._lo = self._lo[:capacity].copy()
+            self._hi = self._hi[:capacity].copy()
+            self._ids = self._ids[:capacity].copy()
+            self._live = self._live[:capacity].copy()
+        id_span = _MIN_CAPACITY
+        if self._n:
+            id_span = max(id_span, int(self._ids[: self._n].max()) + 1)
+        size = _MIN_CAPACITY
+        while size < id_span:
+            size *= 2
+        if len(self._row_by_id) > size:
+            self._row_by_id = self._row_by_id[:size].copy()
+        return before - self.footprint_bytes()
+
     # ------------------------------------------------------------------
     # mutation (the overlay calls these whenever a leaf binding changes)
     # ------------------------------------------------------------------
@@ -265,9 +298,33 @@ class ZoneStore:
         self, point: np.ndarray, ids: Sequence[int] | np.ndarray
     ) -> np.ndarray:
         """Closed-box incidence (squared distance exactly zero), ``False``
-        for absent ids — the perimeter walk's membership test."""
-        acc, present = self.squared_distances(point, ids)
-        return present & (acc == 0.0)
+        for absent ids — the perimeter walk's membership test.
+
+        Computed as the direct closed-interval test ``lo <= p <= hi`` on
+        every dimension, which is exactly the zero-distance predicate
+        (the clipped gap is zero iff the point is inside the closed box)
+        at a fraction of the arithmetic."""
+        rows = self.rows_of(ids)
+        present = rows >= 0
+        out = np.zeros(rows.shape, dtype=bool)
+        if present.any():
+            p = np.asarray(point, dtype=np.float64)
+            rp = rows[present]
+            out[present] = (
+                (p >= self._lo[rp]) & (p <= self._hi[rp])
+            ).all(axis=1)
+        return out
+
+    def contains_rows(self, points: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Half-open containment per (point row, store row) pair — the
+        row-paired twin of :meth:`contains_mask` (top faces of the unit
+        cube closed)."""
+        lo = self._lo[rows]
+        hi = self._hi[rows]
+        p = np.asarray(points, dtype=np.float64)
+        ok_lo = (p >= lo).all(axis=1)
+        ok_hi = ((p < hi) | ((p == hi) & (hi == 1.0))).all(axis=1)
+        return ok_lo & ok_hi
 
     def adjacency(
         self, node_id: int, ids: Sequence[int] | np.ndarray

@@ -365,20 +365,28 @@ def greedy_paths(
     nhops = np.zeros(n_routes, dtype=np.int64)
     boundary: list[int] = []
     initially_active = []
+    known: list[int] = []
     for r in range(n_routes):
         sid = int(starts[r])
-        node = overlay.nodes.get(sid)
-        if node is None:
+        if sid not in overlay.nodes:
             errors[r] = KeyError(sid)
             continue
         paths[r] = [sid]
         cur[r] = sid
-        d = _squared_distance(node.zone, P[r]) ** 0.5
-        dist[r] = d
-        if d == 0.0:
-            boundary.append(r)
-        else:
-            initially_active.append(r)
+        known.append(r)
+    if known:
+        # One batched start-distance pass (store rows mirror the node
+        # zones; the row kernel is bit-identical to the scalar gap loop).
+        accs = overlay.geometry.squared_distances_rows(
+            P[known], overlay.geometry.rows_of(cur[known])
+        )
+        for r, acc in zip(known, accs.tolist()):
+            d = acc ** 0.5
+            dist[r] = d
+            if d == 0.0:
+                boundary.append(r)
+            else:
+                initially_active.append(r)
 
     pool = _pool_for(overlay, link_tables)
     active = np.asarray(initially_active, dtype=np.intp)
@@ -482,13 +490,17 @@ def greedy_paths(
         for r, b in zip(adv.tolist(), adv_ids.tolist()):
             if errors[r] is None:
                 paths[r].append(b)
-    for r in boundary:
-        if errors[r] is not None:
-            continue
-        last = paths[r][-1]
-        pt = tuple(float(x) for x in P[r])
-        if not overlay.nodes[last].zone.contains(pt):
-            paths[r].extend(_perimeter_hops(overlay, last, P[r]))
+    landed = [r for r in boundary if errors[r] is None]
+    if landed:
+        # Batched half-open ownership test; only the (rare) routes that
+        # stalled on a zone face walk the perimeter.
+        owned = overlay.geometry.contains_rows(
+            P[landed],
+            overlay.geometry.rows_of([paths[r][-1] for r in landed]),
+        )
+        for r, ok in zip(landed, owned.tolist()):
+            if not ok:
+                paths[r].extend(_perimeter_hops(overlay, paths[r][-1], P[r]))
 
     if on_error == "raise":
         for err in errors:
@@ -518,6 +530,13 @@ def _perimeter_hops(
     owner_id = overlay.owner_of(point)
     if owner_id == start_id:
         return []
+    if owner_id in overlay.nodes[start_id].neighbors:
+        # The owner's closed zone contains the point by construction, so
+        # it always passes the incidence test: the level-1 BFS scan would
+        # return ``[owner_id]`` no matter how its siblings sort.  This is
+        # the overwhelmingly common case (state-update points land on a
+        # face of the duty zone next door) — skip the scan.
+        return [owner_id]
     store = overlay.geometry
     seen = {start_id}
     queue: deque[tuple[int, list[int]]] = deque([(start_id, [])])

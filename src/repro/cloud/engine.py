@@ -280,6 +280,61 @@ class HostEngine:
         for row in np.flatnonzero(self._nrun[: self._h_n] > 0).tolist():
             yield self._host_ids[row]
 
+    def mean_utilization(self) -> float:
+        """Mean fraction of effective capacity in use across all hosts and
+        dimensions, in one vectorized pass over the cached SoA matrices —
+        no per-host iteration, so it is safe on the metrics sampling path
+        at 10^5 hosts."""
+        n = self._h_n
+        if not n:
+            return 0.0
+        eff = self._eff[:n]
+        load = self._load[:n]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(eff > 0.0, load / eff, 0.0)
+        np.clip(util, 0.0, 1.0, out=util)
+        return float(util.mean())
+
+    # ------------------------------------------------------------------
+    # memory budget
+    # ------------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Bytes held by the SoA arrays (the dominant storage; the Python
+        task list and calendar heap are small by comparison)."""
+        total = 0
+        for name in (
+            "_cap", "_eff", "_load", "_avail", "_nrun", "_last",
+            "_gen", "_next_when", "_next_row",
+            "_t_rem", "_t_rates", "_t_exp", "_t_host", "_t_live",
+        ):
+            total += getattr(self, name).nbytes
+        return total
+
+    def trim(self) -> int:
+        """Release slack: compact dead task rows, shrink every SoA array to
+        its live extent, and drop stale calendar entries.  Returns the
+        number of bytes released.  Semantics-preserving — only spare
+        capacity goes away, never live state."""
+        before = self.footprint_bytes()
+        if self._t_dead:
+            self._compact_tasks()
+        t_cap = max(_MIN_CAPACITY, self._t_n)
+        if self._t_rem.shape[0] > t_cap:
+            for name in ("_t_rem", "_t_rates", "_t_exp", "_t_host", "_t_live"):
+                setattr(self, name, getattr(self, name)[:t_cap].copy())
+        h_cap = max(_MIN_CAPACITY, self._h_n)
+        if self._cap.shape[0] > h_cap:
+            for name in (
+                "_cap", "_eff", "_load", "_avail", "_nrun", "_last",
+                "_gen", "_next_when", "_next_row",
+            ):
+                setattr(self, name, getattr(self, name)[:h_cap].copy())
+        live = [(w, g, h) for (w, g, h) in self._heap if g == self._gen[h]]
+        if len(live) < len(self._heap):
+            heapq.heapify(live)
+            self._heap = live
+        return before - self.footprint_bytes()
+
     # ------------------------------------------------------------------
     # progress integration
     # ------------------------------------------------------------------
@@ -359,12 +414,18 @@ class HostEngine:
             per_dim = np.where(rem > _WORK_EPS, rem / rates, 0.0)
         finish = per_dim.max(axis=1)
         finish[stalled] = np.inf
-        i = int(np.argmin(finish))
-        if not np.isfinite(finish[i]):
+        # Pick the winner in *absolute* time: the scalar reference compares
+        # ``last_update + t`` with a strict ``<`` (first-placed wins ties),
+        # and absolute sums can tie at the float level where the relative
+        # finish times still differ by an ulp.  ``lst`` is placement order,
+        # so argmin's first-occurrence rule matches the reference exactly.
+        whens = self._last[h] + finish
+        i = int(np.argmin(whens))
+        if not np.isfinite(whens[i]):
             self._next_when[h] = np.inf
             self._next_row[h] = -1
             return
-        when = float(self._last[h] + finish[i])
+        when = float(whens[i])
         self._next_when[h] = when
         self._next_row[h] = lst[i]
         heapq.heappush(self._heap, (when, self._gen_counter, h))

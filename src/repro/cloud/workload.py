@@ -7,6 +7,7 @@ inter-arrival time 3000 s, so one simulated day on 2000 nodes yields about
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -37,13 +38,26 @@ class PoissonWorkload:
         sim: Simulator,
         submit: Callable[[Task], None],
         is_alive: Callable[[int], bool],
+        quantum: float = 0.0,
     ) -> None:
         """Begin the arrival process for ``node_id``.
 
         The first arrival is offset by a fresh exponential draw, so nodes
         are naturally staggered.  The chain self-terminates once the node is
         no longer alive (churned out) — it simply stops re-arming.
+
+        ``quantum`` > 0 rounds every fire time *up* onto the quantum grid
+        (the exponential draws themselves are untouched, so the RNG stream
+        position is quantum-independent).  Many nodes' arrivals then share
+        delivery instants and the runner's arrival coalescing gets real
+        batches instead of singletons.
         """
+
+        def arm() -> None:
+            target = sim.now + self._rng.exponential(self.mean_interarrival)
+            if quantum > 0.0:
+                target = math.ceil(target / quantum) * quantum
+            sim.schedule_at(target, fire)
 
         def fire() -> None:
             if not is_alive(node_id):
@@ -51,6 +65,6 @@ class PoissonWorkload:
             task = self.factory.create(node_id, sim.now)
             self.generated += 1
             submit(task)
-            sim.schedule(self._rng.exponential(self.mean_interarrival), fire)
+            arm()
 
-        sim.schedule(self._rng.exponential(self.mean_interarrival), fire)
+        arm()

@@ -41,6 +41,9 @@ class ProtocolContext:
         availability_of: Callable[[int], np.ndarray],
         is_alive: Callable[[int], bool],
         alive_mask: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        availability_matrix_of: Optional[
+            Callable[[Sequence[int]], np.ndarray]
+        ] = None,
     ):
         self.sim = sim
         self.network = network
@@ -50,6 +53,7 @@ class ProtocolContext:
         self.availability_of = availability_of
         self.is_alive = is_alive
         self._alive_mask = alive_mask
+        self._availability_matrix_of = availability_matrix_of
 
     def alive_mask(self, ids: np.ndarray) -> np.ndarray:
         """Vectorized membership test over an id array (the diffusion
@@ -61,6 +65,18 @@ class ProtocolContext:
         return np.fromiter(
             (self.is_alive(int(i)) for i in ids), dtype=bool, count=len(ids)
         )
+
+    def availability_matrix(self, node_ids: Sequence[int]) -> np.ndarray:
+        """``(k, d)`` availability rows for many nodes in one gather —
+        row ``i`` is bitwise-equal to ``availability_of(node_ids[i])``.
+        Harnesses may wire a natively-vectorized gather (the runner uses
+        :meth:`repro.cloud.engine.HostEngine.availability_matrix`); the
+        default stacks the scalar lookups."""
+        if len(node_ids) == 0:
+            return np.zeros((0, len(self.cmax)))
+        if self._availability_matrix_of is not None:
+            return np.asarray(self._availability_matrix_of(node_ids), dtype=np.float64)
+        return np.stack([self.availability_of(i) for i in node_ids])
 
     # ------------------------------------------------------------------
     # messaging
@@ -104,6 +120,37 @@ class ProtocolContext:
             self.traffic.charge(kind, sender)
         delay = self.network.path_delay(list(path), size_bits)
         self.sim.schedule(delay, self._deliver, path[-1], handler, args)
+
+    def send_path_batch(
+        self,
+        kind: str,
+        paths: Sequence[Sequence[int]],
+        handler: Callable[..., None],
+        args_list: Sequence[tuple],
+        size_bits: float = CONTROL_MSG_BITS,
+    ) -> None:
+        """:meth:`send_path` for a whole batch of routes in path order —
+        identical traffic charges, delays (vectorized but bit-equal, see
+        :meth:`NetworkModel.path_delays`) and delivery event ordering to
+        the sequential calls.  One delivery event per path."""
+        if len(paths) != len(args_list):
+            raise ValueError("paths and args_list must align")
+        charge = self.traffic.by_node
+        total_hops = 0
+        for path in paths:
+            if len(path) < 1:
+                raise ValueError("empty path")
+            total_hops += len(path) - 1
+            for sender in path[:-1]:
+                charge[sender] += 1
+        if total_hops:
+            # (guarded so an all-single-hop batch does not materialize a
+            # zero-count kind the sequential path would never create)
+            self.traffic.by_kind[kind] += total_hops
+        delays = self.network.path_delays([list(p) for p in paths], size_bits)
+        schedule = self.sim.schedule
+        for path, delay, args in zip(paths, delays, args_list):
+            schedule(delay, self._deliver, path[-1], handler, args)
 
     def charge_local(self, kind: str, node_id: int, n: int = 1) -> None:
         """Charge messages without scheduling delivery (in-process bursts

@@ -33,6 +33,7 @@ analysis of Theorem 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.can.inscan import IndexPointerTable
 from repro.core.context import ProtocolContext
@@ -138,6 +139,18 @@ class DiffusionEngine:
         else:
             raise ValueError(f"unknown diffusion method {method!r}")
         return result
+
+    def diffuse_round(self, origins: Sequence[int], method: str) -> list[DiffusionResult]:
+        """Run one trigger per origin, in order, as one cohort round.
+
+        Deliberately a sequential loop: each trigger is a recursive relay
+        chain whose NINode picks depend on the RNG state left by the
+        previous chain, so the triggers cannot be fused without changing
+        draws.  The round's win is upstream — one heap pop wakes the whole
+        cohort instead of one event per origin — while the per-origin
+        results stay bit-identical to per-node ticking.
+        """
+        return [self.diffuse(origin, method) for origin in origins]
 
     # ------------------------------------------------------------------
     # HID: Algorithm 2 — every relay re-selects from its own table

@@ -25,7 +25,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.can.inscan import IndexPointerTable, build_index_table, inscan_path
+from repro.can.inscan import (
+    IndexPointerTable, build_index_table, inscan_path, inscan_paths,
+)
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
 from repro.core.context import ProtocolContext
@@ -34,6 +36,7 @@ from repro.core.lifecycle import LifecycleStats, QueryLifecycle, submit_batch
 from repro.core.pilist import PIList
 from repro.core.query import QueryEngine, QueryParams
 from repro.core.state import StateCache, StateRecord
+from repro.sim.engine import Simulator, next_grid_index
 
 __all__ = [
     "DiscoveryProtocol",
@@ -41,7 +44,53 @@ __all__ = [
     "PIDCANProtocol",
     "make_protocol",
     "PROTOCOL_NAMES",
+    "quantize_phase",
+    "arm_grid_chain",
 ]
+
+TICK_MODES = ("per-node", "cohort")
+
+
+def quantize_phase(u: float, period: float, buckets: int) -> float:
+    """Snap a uniform phase draw ``u ~ U(0, period)`` down onto the
+    ``buckets``-point grid ``{0, period/buckets, ...}``.
+
+    Quantization is what makes nodes share tick instants at all: with
+    continuous phases every cohort would hold one node.  The draw itself
+    is kept (and only then snapped) so the RNG stream position is
+    identical across tick modes and bucket counts.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets!r}")
+    b = min(int(u / period * buckets), buckets - 1)
+    return b * (period / buckets)
+
+
+def arm_grid_chain(
+    sim: Simulator,
+    period: float,
+    phase: float,
+    alive: Callable[[], bool],
+    action: Callable[[], None],
+) -> None:
+    """Self-chaining per-node tick pinned to the multiplicative grid
+    ``phase + k * period`` — the reference twin of a cohort timer with
+    ``epoch=phase``.
+
+    Computing each fire time from ``k`` (never by repeated addition)
+    means the chain hits *bit-for-bit* the same float instants as the
+    cohort timer, which is what lets lockstep tests assert event-order
+    identity between tick modes.  The chain dies when ``alive()`` turns
+    false, exactly like the legacy continuous-phase chains.
+    """
+    def tick(k: int) -> None:
+        if not alive():
+            return
+        action()
+        sim.schedule_at(phase + (k + 1) * period, tick, k + 1)
+
+    k0 = next_grid_index(phase, period, sim.now)
+    sim.schedule_at(phase + k0 * period, tick, k0)
 
 
 class DiscoveryProtocol(abc.ABC):
@@ -96,6 +145,21 @@ class DiscoveryProtocol(abc.ABC):
             lambda d, cb: self.submit_query(d, requester, cb), demands, callback
         )
 
+    def submit_bulk(
+        self,
+        items: Sequence[
+            tuple[np.ndarray, int, Callable[[list[StateRecord], int], None]]
+        ],
+    ) -> None:
+        """Submit same-instant queries from possibly-different requesters
+        (the runner's arrival coalescing).  Each item's callback fires
+        exactly once, independently.  The default fans out to
+        :meth:`submit_query` in arrival order — behaviourally identical to
+        uncoalesced submission for every protocol; PID-CAN overrides this
+        with a natively batched routing pass."""
+        for demand, requester, callback in items:
+            self.submit_query(demand, requester, callback)
+
     def query_stats(self) -> LifecycleStats:
         """Lifetime query counters (started / completed / timed out).
 
@@ -128,6 +192,24 @@ class PIDCANParams:
     table_refresh_period: float = 3600.0
     query_timeout: float = 60.0
     sos_bias: float = 1.0
+    #: ``"per-node"`` = one self-chaining timer per node per activity
+    #: (the reference path); ``"cohort"`` = one CohortTimer per
+    #: (activity, phase) delivering whole member batches.
+    tick_mode: str = "per-node"
+    #: 0 = legacy continuous phases (per-node only, byte-identical to the
+    #: seed); >= 1 quantizes phase draws onto a shared grid so nodes can
+    #: share tick instants across both tick modes.
+    phase_buckets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_mode not in TICK_MODES:
+            raise ValueError(
+                f"tick_mode must be one of {TICK_MODES}, got {self.tick_mode!r}"
+            )
+        if self.phase_buckets < 0:
+            raise ValueError(f"phase_buckets must be >= 0, got {self.phase_buckets!r}")
+        if self.tick_mode == "cohort" and self.phase_buckets < 1:
+            raise ValueError("cohort tick mode requires phase_buckets >= 1")
 
     @property
     def overlay_dims(self) -> int:
@@ -174,6 +256,10 @@ class PIDCANProtocol(DiscoveryProtocol):
             params.query_params(),
         )
         self.lifecycle = self.queries.lifecycle
+        #: (activity kind, phase) -> shared CohortTimer (cohort mode only).
+        self._cohorts: dict[tuple[str, float], "object"] = {}
+        #: node id -> the cohort timers it belongs to, for O(1) discard.
+        self._memberships: dict[int, list] = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -186,14 +272,13 @@ class PIDCANProtocol(DiscoveryProtocol):
         # by the periodic refresh.
         for node_id in node_ids:
             self._refresh_table(node_id, charge=False)
-        for node_id in node_ids:
-            self._arm_periodics(node_id)
+        self._arm_all(node_ids)
 
     def on_join(self, node_id: int) -> None:
         self.overlay.join(node_id)
         self._init_node_state(node_id)
         self._refresh_table(node_id, charge=True)
-        self._arm_periodics(node_id)
+        self._arm_all([node_id])
 
     def on_leave(self, node_id: int) -> None:
         if node_id in self.overlay:
@@ -201,6 +286,8 @@ class PIDCANProtocol(DiscoveryProtocol):
         self.caches.pop(node_id, None)
         self.pilists.pop(node_id, None)
         self.tables.pop(node_id, None)
+        for timer in self._memberships.pop(node_id, ()):
+            timer.discard(node_id)
 
     def _init_node_state(self, node_id: int) -> None:
         self.caches[node_id] = StateCache(self.params.state_ttl)
@@ -209,6 +296,73 @@ class PIDCANProtocol(DiscoveryProtocol):
     # ------------------------------------------------------------------
     # periodic activities (self-chaining so they die with the node)
     # ------------------------------------------------------------------
+    def _arm_all(self, node_ids: Sequence[int]) -> None:
+        """Arm the three periodic activities for a set of nodes.
+
+        With ``phase_buckets == 0`` this is the seed's path, untouched:
+        continuous per-node phases make every cohort a singleton, so
+        nothing is gained by grouping.  With buckets, phase draws stay
+        **node-major** (the legacy RNG stream order: one state, diffusion
+        and table draw per node, node by node) while arming runs
+        **kind-major** — all state ticks, then all diffusion ticks, then
+        all table refreshes — so the per-node heap order at a shared
+        instant matches cohort delivery order and the two tick modes stay
+        event-for-event identical (see ``docs/coalescing.md``).
+        """
+        p = self.params
+        if p.phase_buckets == 0:
+            for node_id in node_ids:
+                self._arm_periodics(node_id)
+            return
+        rng = self.ctx.rng
+        kinds = self._periodic_kinds()
+        phases = [
+            tuple(
+                quantize_phase(rng.uniform(0, period), period, p.phase_buckets)
+                for _, period, _, _ in kinds
+            )
+            for _ in node_ids
+        ]
+        for i, (kind, period, round_fn, action) in enumerate(kinds):
+            for node_id, node_phases in zip(node_ids, phases):
+                self._arm_one(
+                    kind, period, node_phases[i], node_id, round_fn, action
+                )
+
+    def _periodic_kinds(self):
+        p = self.params
+        return (
+            ("state", p.state_period, self._state_round, self._state_update),
+            ("diffusion", p.diffusion_period, self._diffusion_round,
+             self._diffusion_tick),
+            ("table", p.table_refresh_period, self._table_round,
+             self._table_tick),
+        )
+
+    def _arm_one(
+        self,
+        kind: str,
+        period: float,
+        phase: float,
+        node_id: int,
+        round_fn: Callable[[Sequence[int]], None],
+        action: Callable[[int], None],
+    ) -> None:
+        if self.params.tick_mode == "cohort":
+            key = (kind, phase)
+            timer = self._cohorts.get(key)
+            if timer is None:
+                timer = self.ctx.sim.periodic_cohort(period, round_fn, epoch=phase)
+                self._cohorts[key] = timer
+            timer.add(node_id)
+            self._memberships.setdefault(node_id, []).append(timer)
+        else:
+            arm_grid_chain(
+                self.ctx.sim, period, phase,
+                lambda: self.ctx.is_alive(node_id) and node_id in self.overlay,
+                lambda: action(node_id),
+            )
+
     def _arm_periodics(self, node_id: int) -> None:
         rng = self.ctx.rng
         self._chain(node_id, self.params.state_period, self._state_update,
@@ -228,6 +382,69 @@ class PIDCANProtocol(DiscoveryProtocol):
             self.ctx.sim.schedule(period, tick)
 
         self.ctx.sim.schedule(first, tick)
+
+    def _live_members(self, members: Sequence[int]) -> list[int]:
+        """A cohort batch filtered by the same per-node liveness predicate
+        the self-chaining timers use; ``on_leave`` also discards members
+        eagerly, so this is a belt-and-braces guard."""
+        return [
+            m for m in members
+            if self.ctx.is_alive(m) and m in self.overlay
+        ]
+
+    # ------------------------------------------------------------------
+    # cohort rounds (one call per (activity, phase) per period)
+    # ------------------------------------------------------------------
+    def _state_round(self, members: Sequence[int]) -> None:
+        """One state-update cycle for a whole cohort: per-member records
+        and query points are built in member order (VD draws included, so
+        the protocol RNG stream matches per-node ticking), every route is
+        computed in one batched :func:`inscan_paths` pass, and the sends
+        go out in the same member order."""
+        live = self._live_members(members)
+        if not live:
+            return
+        now = self.ctx.sim.now
+        # One SoA gather + one rowwise normalize; rows (and the VD draws,
+        # batched in member order) are bitwise-equal to the per-member
+        # ``availability_of`` / ``_point_for`` sequence.
+        avail = self.ctx.availability_matrix(live)
+        records = [
+            StateRecord(node_id, avail[i].copy(), now)
+            for i, node_id in enumerate(live)
+        ]
+        points = np.clip(avail / self.ctx.cmax, 0.0, 1.0)
+        if self.params.vd:
+            extra = self.ctx.rng.uniform(size=len(live))
+            points = np.concatenate([points, extra[:, None]], axis=1)
+        paths = inscan_paths(
+            self.overlay, self.tables, live, points, on_error="none",
+        )
+        routed = [
+            (record, path) for record, path in zip(records, paths)
+            if path is not None  # overlay mid-repair; next round retries
+        ]
+        if routed:
+            self.ctx.send_path_batch(
+                "state-update",
+                [path for _, path in routed],
+                self._deliver_state,
+                [(path[-1], record) for record, path in routed],
+            )
+
+    def _diffusion_round(self, members: Sequence[int]) -> None:
+        now = self.ctx.sim.now
+        origins = []
+        for node_id in self._live_members(members):
+            cache = self.caches.get(node_id)
+            if cache is not None and cache.non_empty(now):
+                origins.append(node_id)
+        if origins:
+            self.diffusion.diffuse_round(origins, self.params.diffusion_method)
+
+    def _table_round(self, members: Sequence[int]) -> None:
+        for node_id in self._live_members(members):
+            self._table_tick(node_id)
 
     # ------------------------------------------------------------------
     # state updates
@@ -282,6 +499,14 @@ class PIDCANProtocol(DiscoveryProtocol):
         callback: Callable[[list[StateRecord], int], None],
     ) -> None:
         self.queries.submit(demand, requester, callback)
+
+    def submit_bulk(
+        self,
+        items: Sequence[
+            tuple[np.ndarray, int, Callable[[list[StateRecord], int], None]]
+        ],
+    ) -> None:
+        self.queries.submit_burst(items)
 
 
 def _variant_name(params: PIDCANParams) -> str:

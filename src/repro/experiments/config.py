@@ -90,6 +90,22 @@ class ExperimentConfig:
     checkpoint_enabled: bool = False
     checkpoint_period: float = 600.0
 
+    # event coalescing (docs/coalescing.md) ------------------------------
+    #: Buffer query arrivals landing at the same delivery instant and hand
+    #: them to the protocol as one ``submit_bulk`` batch.  Event-identical
+    #: to uncoalesced submission; the win is batched duty-query routing.
+    coalesce_arrivals: bool = False
+    #: Round task arrival times *up* onto this grid (0 = off).  The
+    #: exponential draws are untouched — only the fire instants snap — so
+    #: many arrivals share an instant and coalesce into real batches.
+    arrival_quantum: float = 0.0
+    #: Soft ceiling on the SoA storage of the host engine + overlay
+    #: geometry; a periodic sweep trims slack capacity when exceeded
+    #: (None = never trim).  Semantics-preserving at any value.
+    memory_budget_mb: float | None = None
+    #: How often the memory sweep checks the footprint.
+    memory_sweep_period: float = 600.0
+
     # environment ---------------------------------------------------------
     network: NetworkParams = field(default_factory=NetworkParams)
     cmax_mode: str = "exact"  # "exact" | "gossip"
@@ -110,6 +126,12 @@ class ExperimentConfig:
             raise ValueError("mean_interarrival must be positive")
         if self.burst_factor < 1.0:
             raise ValueError("burst_factor must be >= 1")
+        if self.arrival_quantum < 0.0:
+            raise ValueError("arrival_quantum must be >= 0")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None)")
+        if self.memory_sweep_period <= 0:
+            raise ValueError("memory_sweep_period must be positive")
 
     # ------------------------------------------------------------------
     @classmethod

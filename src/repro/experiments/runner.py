@@ -202,6 +202,7 @@ class SOCSimulation:
             cmax=self.cmax,
             availability_of=self._availability_of,
             is_alive=self.is_alive,
+            availability_matrix_of=self._availability_matrix_of,
         )
         self.protocol = make_protocol(
             config.protocol, self.ctx, config.pidcan,
@@ -223,7 +224,14 @@ class SOCSimulation:
             self.factory, self.rngs.stream("arrivals"), config.effective_interarrival
         )
         for node_id in sorted(self._alive):
-            self.workload.start_node(node_id, self.sim, self._submit_task, self.is_alive)
+            self.workload.start_node(
+                node_id, self.sim, self._submit_task, self.is_alive,
+                quantum=config.arrival_quantum,
+            )
+        #: Same-instant arrival buffer (``coalesce_arrivals``): the first
+        #: enqueue schedules a zero-delay flush, which runs after every
+        #: arrival event of the instant and hands the protocol one batch.
+        self._arrival_buffer: list[tuple[Task, object]] = []
 
         # --- churn --------------------------------------------------------
         if config.churn_degree > 0:
@@ -241,9 +249,14 @@ class SOCSimulation:
             self.checkpoints = CheckpointStore()
             self.sim.periodic(config.checkpoint_period, self._checkpoint_tick)
 
+        # --- memory budget (docs/coalescing.md) ---------------------------
+        if config.memory_budget_mb is not None:
+            self.sim.periodic(config.memory_sweep_period, self._memory_sweep)
+
         # --- metrics ---------------------------------------------------------
         self.collector = MetricsCollector(
-            self.sim, self.ratios, self.efficiency.values, config.sample_period
+            self.sim, self.ratios, self.efficiency.values, config.sample_period,
+            utilization_source=getattr(self.engine, "mean_utilization", None),
         )
         self.collector.start()
 
@@ -273,6 +286,22 @@ class SOCSimulation:
             return np.zeros_like(CMAX)
         return self.engine.availability(node_id)
 
+    def _availability_matrix_of(self, node_ids) -> np.ndarray:
+        # Batched twin of _availability_of: one SoA gather for the whole
+        # cohort, rows bitwise-equal to the scalar lookups (dead nodes,
+        # if any slip through, read as zero availability just the same).
+        ids = list(node_ids)
+        alive = [self.is_alive(n) for n in ids]
+        if all(alive):
+            return self.engine.availability_matrix(ids)
+        rows = np.zeros((len(ids),) + np.shape(CMAX))
+        live_idx = [i for i, ok in enumerate(alive) if ok]
+        if live_idx:
+            rows[live_idx] = self.engine.availability_matrix(
+                [ids[i] for i in live_idx]
+            )
+        return rows
+
     def _resolve_cmax(self) -> np.ndarray:
         if self.config.cmax_mode == "exact":
             return CMAX.copy()
@@ -297,7 +326,22 @@ class SOCSimulation:
         must not leak the task, so a failsafe fires with an empty result
         after ``query_failsafe_timeout`` unless the protocol answered
         first; whichever fires second is a no-op.
+
+        With ``coalesce_arrivals`` the query is buffered instead and every
+        query of the instant goes to the protocol as one ``submit_bulk``
+        batch — same submission instant, same failsafes, same per-query
+        callbacks, so results are event-identical to direct dispatch.
         """
+        if self.config.coalesce_arrivals:
+            self._enqueue_query(task, on_records)
+            return
+        self.protocol.submit_query(
+            task.expectation, task.origin, self._failsafe_wrap(on_records)
+        )
+
+    def _failsafe_wrap(self, on_records):
+        """Arm the runner-side failsafe and return the exactly-once
+        callback that races it against the protocol's own resolution."""
         done = {"fired": False}
 
         def on_result(records: list[StateRecord], messages: int) -> None:
@@ -310,7 +354,23 @@ class SOCSimulation:
         failsafe = self.sim.schedule(
             self.config.query_failsafe_timeout, on_result, [], 0
         )
-        self.protocol.submit_query(task.expectation, task.origin, on_result)
+        return on_result
+
+    def _enqueue_query(self, task: Task, on_records) -> None:
+        if not self._arrival_buffer:
+            # Zero-delay => higher heap sequence than every arrival event
+            # already queued for this instant, so the flush runs once all
+            # of them have buffered.
+            self.sim.schedule(0.0, self._flush_arrivals)
+        self._arrival_buffer.append((task, on_records))
+
+    def _flush_arrivals(self) -> None:
+        batch, self._arrival_buffer = self._arrival_buffer, []
+        items = [
+            (task.expectation, task.origin, self._failsafe_wrap(on_records))
+            for task, on_records in batch
+        ]
+        self.protocol.submit_bulk(items)
 
     def _submit_task(self, task: Task) -> None:
         self.ratios.on_generated()
@@ -481,6 +541,37 @@ class SOCSimulation:
         self._dispatch_query(task, on_records)
 
     # ------------------------------------------------------------------
+    # memory budget
+    # ------------------------------------------------------------------
+    def _memory_stores(self) -> list:
+        """The trimmable SoA substrates: the host engine plus the CAN
+        overlay's zone geometry when the protocol has one (overlay-less
+        protocols and the scalar reference substrates are skipped)."""
+        stores = []
+        if hasattr(self.engine, "footprint_bytes"):
+            stores.append(self.engine)
+        geometry = getattr(
+            getattr(self.protocol, "overlay", None), "geometry", None
+        )
+        if geometry is not None and hasattr(geometry, "footprint_bytes"):
+            stores.append(geometry)
+        return stores
+
+    def _memory_sweep(self) -> None:
+        """Trim slack SoA capacity when the footprint exceeds the budget.
+
+        Trimming compacts dead rows and releases spare array capacity —
+        strictly semantics-preserving, so the sweep may fire (or not) at
+        any cadence without changing a single metric.
+        """
+        stores = self._memory_stores()
+        budget = self.config.memory_budget_mb * 1024 * 1024
+        if sum(store.footprint_bytes() for store in stores) <= budget:
+            return
+        for store in stores:
+            store.trim()
+
+    # ------------------------------------------------------------------
     # churn (Fig. 8)
     # ------------------------------------------------------------------
     def _churn_event(self) -> None:
@@ -491,7 +582,10 @@ class SOCSimulation:
             self._depart(victim_id)
             newcomer = self._create_host(self._machine_rng)
             self.protocol.on_join(newcomer)
-            self.workload.start_node(newcomer, self.sim, self._submit_task, self.is_alive)
+            self.workload.start_node(
+                newcomer, self.sim, self._submit_task, self.is_alive,
+                quantum=self.config.arrival_quantum,
+            )
         self.sim.schedule(
             self._churn_rng.exponential(self._churn_interval), self._churn_event
         )

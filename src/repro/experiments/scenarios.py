@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Callable
 
+from repro.core.protocol import PIDCANParams
 from repro.experiments.config import ExperimentConfig, SCALES
 from repro.experiments.runner import SimulationResult, SOCSimulation
 
@@ -30,6 +31,8 @@ __all__ = [
     "CHURN_DEGREES",
     "CHURN_SWEEP_PROTOCOLS",
     "CHURN_SWEEP_DEGREES",
+    "MEGA_POPULATIONS",
+    "MEGA_DURATIONS",
     "scalability_populations",
 ]
 
@@ -73,6 +76,24 @@ CHURN_SWEEP_PROTOCOLS = (
 
 #: Dynamic degrees of the churn comparison grid (moderate + extreme).
 CHURN_SWEEP_DEGREES = (0.25, 0.75)
+
+#: Population per scale of the ``mega`` tier.  Unlike the figure
+#: scenarios (which use :data:`~repro.experiments.config.SCALES`), mega
+#: exists to exercise the coalesced event path at populations the
+#: per-node ticking engine cannot reach — 10^5 nodes at ``paper``.
+MEGA_POPULATIONS: dict[str, int] = {
+    "paper": 100_000,
+    "small": 20_000,
+    "tiny": 4_000,
+}
+
+#: Horizon per scale of the ``mega`` tier: short (tens of state rounds),
+#: because the point is round throughput at scale, not day-long series.
+MEGA_DURATIONS: dict[str, float] = {
+    "paper": 1800.0,
+    "small": 1500.0,
+    "tiny": 1200.0,
+}
 
 
 def scalability_populations(scale: str, base_n: int | None = None) -> list[int]:
@@ -237,6 +258,39 @@ def table3_configs(
     }
 
 
+def mega_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
+    """The coalesced 10^5-node tier (docs/coalescing.md): HID-CAN at
+    λ=0.5 with cohort ticking, quantized+coalesced arrivals and a memory
+    budget — every batching lever on at once.
+
+    Populations/horizons come from :data:`MEGA_POPULATIONS` /
+    :data:`MEGA_DURATIONS` rather than the figure scales: ``paper`` is
+    100 000 nodes over a short horizon.  Overrides (``n_nodes``,
+    ``duration``, ...) apply verbatim, so smokes can shrink a cell.
+    """
+    if scale not in MEGA_POPULATIONS:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected {sorted(MEGA_POPULATIONS)}"
+        )
+    params: dict[str, Any] = {
+        "n_nodes": MEGA_POPULATIONS[scale],
+        "duration": MEGA_DURATIONS[scale],
+        "protocol": "hid-can",
+        "demand_ratio": 0.5,
+        "pidcan": PIDCANParams(tick_mode="cohort", phase_buckets=16),
+        "coalesce_arrivals": True,
+        "arrival_quantum": 1.0,
+        "memory_budget_mb": 768.0,
+        "memory_sweep_period": 300.0,
+        "sample_period": 300.0,
+        **overrides,
+    }
+    params.pop("seed", None)
+    return {"hid-can": ExperimentConfig(seed=seed, **params)}
+
+
 #: Scenario name → config-grid builder (labels follow the paper's curves).
 SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
     "fig4a": fig4a_configs,
@@ -248,6 +302,7 @@ SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
     "churn": churn_configs,
     "burst": burst_configs,
     "table3": table3_configs,
+    "mega": mega_configs,
 }
 
 
@@ -324,6 +379,15 @@ def table3(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     return _run_grid(table3_configs(scale, seed))
 
 
+def mega(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, SimulationResult]:
+    """The coalesced 10^5-node tier (see :func:`mega_configs`).  Extra
+    keyword arguments are config overrides (``n_nodes``, ``duration``,
+    ...) so smokes can shrink the cell."""
+    return _run_grid(mega_configs(scale, seed, **overrides))
+
+
 SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "fig4a": fig4a,
     "fig4b": fig4b,
@@ -334,6 +398,7 @@ SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "churn": churn,
     "burst": burst,
     "table3": table3,
+    "mega": mega,
 }
 
 

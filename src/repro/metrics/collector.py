@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.metrics.fairness import jain_index
 from repro.metrics.ratios import RatioTracker
@@ -17,6 +17,14 @@ class MetricsCollector:
 
     ``efficiency_source`` returns the efficiency samples of all finished
     tasks so far (the runner computes them against the mean capacity).
+
+    Scale audit (10^5-node tier): every sample must stay loop-free over
+    the population.  The ratio reads are O(1) counters, the fairness read
+    is one vectorized :func:`jain_index` over the efficiency buffer, and
+    the optional ``utilization_source`` must be a cached-SoA reduction
+    (the runner wires :meth:`repro.cloud.engine.HostEngine.
+    mean_utilization`, one array pass over the load/effective-capacity
+    matrices) — never a per-node Python loop.
     """
 
     def __init__(
@@ -25,14 +33,18 @@ class MetricsCollector:
         ratios: RatioTracker,
         efficiency_source: Callable[[], Sequence[float]],
         period: float = 3600.0,
+        *,
+        utilization_source: Optional[Callable[[], float]] = None,
     ):
         self.sim = sim
         self.ratios = ratios
         self.efficiency_source = efficiency_source
+        self.utilization_source = utilization_source
         self.period = float(period)
         self.t_ratio = TimeSeries("t_ratio")
         self.f_ratio = TimeSeries("f_ratio")
         self.fairness = TimeSeries("fairness")
+        self.utilization = TimeSeries("utilization")
 
     def start(self) -> None:
         self.sim.periodic(self.period, self.sample)
@@ -43,10 +55,16 @@ class MetricsCollector:
         self.t_ratio.append(now, self.ratios.t_ratio())
         self.f_ratio.append(now, self.ratios.f_ratio())
         self.fairness.append(now, jain_index(self.efficiency_source()))
+        if self.utilization_source is not None:
+            self.utilization.append(now, self.utilization_source())
 
     def series(self) -> dict[str, TimeSeries]:
-        return {
+        out = {
             "t_ratio": self.t_ratio,
             "f_ratio": self.f_ratio,
             "fairness": self.fairness,
         }
+        if self.utilization_source is not None:
+            out["utilization"] = self.utilization
+        return out
+

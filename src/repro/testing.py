@@ -50,7 +50,7 @@ from repro.core.diffusion import DiffusionEngine
 from repro.core.pilist import PIList
 from repro.core.state import StateCache, StateRecord
 from repro.metrics.traffic import TrafficMeter
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, next_grid_index
 from repro.sim.network import NetworkModel, NetworkParams
 
 __all__ = [
@@ -61,6 +61,7 @@ __all__ = [
     "ReferenceZone",
     "ReferenceCANOverlay",
     "ReferenceDiffusionEngine",
+    "ReferenceCohortScheduler",
     "RunningTask",
     "assert_engines_equivalent",
     "assert_overlays_equivalent",
@@ -69,6 +70,7 @@ __all__ = [
     "reference_distance_to_point",
     "reference_greedy_path",
     "reference_inscan_path",
+    "assert_tick_modes_equivalent",
 ]
 
 #: Work below this is treated as done (guards float round-off at completion).
@@ -293,6 +295,23 @@ class ReferenceHostEngine:
         for host_id in self._order:
             if self._exec[host_id].n_running:
                 yield host_id
+
+    def mean_utilization(self) -> float:
+        """Scalar twin of :meth:`repro.cloud.engine.HostEngine.
+        mean_utilization`: per-host/per-dimension load over effective
+        capacity, clipped to [0, 1] and averaged."""
+        if not self._order:
+            return 0.0
+        total = 0.0
+        dims = 0
+        for host_id in self._order:
+            ex = self._exec[host_id]
+            eff = ex.effective_capacity()
+            load = ex.load()
+            util = np.where(eff > 0.0, load / np.where(eff > 0.0, eff, 1.0), 0.0)
+            total += float(np.clip(util, 0.0, 1.0).sum())
+            dims += util.size
+        return total / dims
 
     # ------------------------------------------------------------------
     # progress integration
@@ -984,3 +1003,142 @@ class ProtocolSandbox:
     def kill(self, node_id: int) -> None:
         """Mark a node dead: messages to it are dropped from now on."""
         self.dead.add(node_id)
+
+
+# ----------------------------------------------------------------------
+# Cohort ticking oracle (docs/coalescing.md)
+# ----------------------------------------------------------------------
+class ReferenceCohortScheduler:
+    """Per-member grid chains: the oracle :class:`repro.sim.engine.
+    CohortTimer` must be delivery-identical to.
+
+    Every member gets its own self-rechaining timer firing at
+    ``epoch + k * interval`` (the same multiplicative grid the cohort
+    timer uses, via :func:`repro.sim.engine.next_grid_index`), and the
+    callback receives a one-member batch ``fn((member,))``.  Because
+    members are armed in insertion order and the simulator heap breaks
+    time ties by schedule sequence, the global ``(time, member)``
+    delivery log of N per-member chains equals one cohort timer's — the
+    contract the hypothesis machine in ``tests/sim`` drives.
+
+    The one caveat is the measure-zero straggler edge: a member added
+    *exactly* at a grid instant, in an event ordered after that
+    instant's tick, first fires one period later here but at the pending
+    instant under the cohort timer.  Drive comparisons with off-grid
+    add times (e.g. half-integer advances) to stay out of it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn,
+        epoch: float | None = None,
+        priority: int = 0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.fn = fn
+        self.epoch = sim.now if epoch is None else float(epoch)
+        self.priority = priority
+        # member -> chain generation.  A discard orphans the member's
+        # pending chain event; a later re-add starts a *new* chain with a
+        # fresh generation, and the orphan self-terminates on its
+        # generation check — otherwise add/discard/add would leave two
+        # live chains delivering the member twice per round.
+        self._gen: dict[int, int] = {}
+        self._next_gen = 0
+
+    def __len__(self) -> int:
+        return len(self._gen)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._gen
+
+    def add(self, member: int) -> None:
+        if member in self._gen:
+            return
+        gen = self._next_gen
+        self._next_gen += 1
+        self._gen[member] = gen
+        self._arm(
+            member, next_grid_index(self.epoch, self.interval, self.sim.now), gen
+        )
+
+    def discard(self, member: int) -> None:
+        self._gen.pop(member, None)
+
+    def cancel(self) -> None:
+        self._gen.clear()
+
+    def _arm(self, member: int, k: int, gen: int) -> None:
+        self.sim.schedule_at(
+            self.epoch + k * self.interval,
+            self._tick,
+            member,
+            k,
+            gen,
+            priority=self.priority,
+        )
+
+    def _tick(self, member: int, k: int, gen: int) -> None:
+        if self._gen.get(member) != gen:
+            return
+        self.fn((member,))
+        self._arm(member, k + 1, gen)
+
+
+def assert_tick_modes_equivalent(config, *, abort_after: float | None = None):
+    """Run ``config`` once per tick mode and assert the runs are
+    metric- and series-identical.
+
+    ``config`` must carry quantized phases (``phase_buckets >= 1``) so
+    the per-node grid chains and the cohort timers share fire instants;
+    this helper flips only ``pidcan.tick_mode``.  Equality is exact —
+    not approx — because cohort coalescing is a pure event-batching
+    transform: same RNG streams, same instants, same delivery order.
+
+    Returns the ``(per_node, cohort)`` result pair so callers can make
+    further assertions (e.g. ``generated > 0``).
+    """
+    from dataclasses import replace
+
+    from repro.experiments.runner import SOCSimulation
+
+    if config.pidcan.phase_buckets < 1:
+        raise ValueError("assert_tick_modes_equivalent needs phase_buckets >= 1")
+
+    results = []
+    for mode in ("per-node", "cohort"):
+        cfg = replace(config, pidcan=replace(config.pidcan, tick_mode=mode))
+        sim = SOCSimulation(cfg)
+        if abort_after is not None:
+            sim.sim.schedule(abort_after, sim.sim.stop)
+        results.append(sim.run())
+    per_node, cohort = results
+
+    assert per_node.generated == cohort.generated
+    assert per_node.finished == cohort.finished
+    assert per_node.failed == cohort.failed
+    assert per_node.placed == cohort.placed
+    assert per_node.evicted == cohort.evicted
+    assert per_node.recovered == cohort.recovered
+    assert per_node.query_timeouts == cohort.query_timeouts
+    assert per_node.peak_population == cohort.peak_population
+    assert per_node.traffic_by_kind == cohort.traffic_by_kind
+    assert per_node.traffic_total == cohort.traffic_total
+    assert per_node.balance == cohort.balance
+    assert per_node.query_latency == cohort.query_latency
+    assert per_node.efficiencies == cohort.efficiencies
+    assert set(per_node.series) == set(cohort.series)
+    for name, series in per_node.series.items():
+        other = cohort.series[name]
+        assert series.times == other.times, f"{name} sample times diverge"
+        # Exact equality, but NaN == NaN (early fairness samples are NaN
+        # before any task finishes).
+        assert np.array_equal(
+            np.asarray(series.values), np.asarray(other.values), equal_nan=True
+        ), f"{name} sample values diverge"
+    return per_node, cohort

@@ -1,0 +1,130 @@
+"""End-to-end identity tests for cohort event coalescing.
+
+The contract (docs/coalescing.md): with quantized phases
+(``phase_buckets >= 1``), flipping ``PIDCANParams.tick_mode`` between
+``per-node`` and ``cohort`` is a pure event-batching transform — every
+metric and every series sample is *exactly* equal, at paper scale and
+under churn.  Arrival coalescing makes the same promise for
+``coalesce_arrivals``.  These tests pin the promise; the throughput win
+is asserted separately in ``benchmarks/test_bench_coalescing.py``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.protocol import PIDCANParams
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SOCSimulation
+from repro.experiments.scenarios import mega_configs
+from repro.testing import assert_tick_modes_equivalent
+
+
+def _quantized(**overrides) -> ExperimentConfig:
+    params = {
+        "protocol": "hid-can",
+        "demand_ratio": 0.5,
+        "pidcan": PIDCANParams(phase_buckets=16),
+        **overrides,
+    }
+    return ExperimentConfig(**params)
+
+
+def test_cohort_ticking_identical_at_paper_scale():
+    """The acceptance cell: a paper-population (2000 node) HID-CAN run
+    under cohort coalescing is metric- and series-identical to the
+    per-node tick path."""
+    per_node, _ = assert_tick_modes_equivalent(
+        _quantized(n_nodes=2000, duration=1200.0, sample_period=400.0, seed=11)
+    )
+    assert per_node.generated > 0
+    assert per_node.finished > 0
+
+
+def test_cohort_ticking_identical_on_small_cell():
+    per_node, cohort = assert_tick_modes_equivalent(
+        _quantized(n_nodes=120, duration=4000.0, sample_period=1000.0, seed=3)
+    )
+    assert per_node.generated > 0
+
+
+def test_cohort_ticking_identical_under_churn():
+    """Join/leave churn exercises the straggler rule: nodes arming
+    mid-round must interleave identically in both tick modes."""
+    per_node, _ = assert_tick_modes_equivalent(
+        _quantized(
+            n_nodes=100,
+            duration=4000.0,
+            sample_period=1000.0,
+            seed=7,
+            churn_degree=0.25,
+            churn_lifetime=1500.0,
+        )
+    )
+    assert per_node.generated > 0
+
+
+def test_cohort_ticking_identical_for_state_baseline():
+    """CANStateBaseline protocols share the cohort plumbing (sid-can
+    consumes the same PIDCANParams tick knobs)."""
+    per_node, _ = assert_tick_modes_equivalent(
+        _quantized(
+            protocol="sid-can", n_nodes=80, duration=4000.0,
+            sample_period=1000.0, seed=5,
+        )
+    )
+    assert per_node.generated > 0
+
+
+def _run(config: ExperimentConfig):
+    return SOCSimulation(config).run()
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.generated == b.generated
+    assert a.finished == b.finished
+    assert a.failed == b.failed
+    assert a.placed == b.placed
+    assert a.evicted == b.evicted
+    assert a.query_timeouts == b.query_timeouts
+    assert a.traffic_by_kind == b.traffic_by_kind
+    assert a.balance == b.balance
+    assert a.query_latency == b.query_latency
+    assert a.efficiencies == b.efficiencies
+    assert set(a.series) == set(b.series)
+    for name, series in a.series.items():
+        assert series.times == b.series[name].times
+        # Exact, but NaN == NaN (fairness is NaN before the first finish).
+        assert np.array_equal(
+            np.asarray(series.values),
+            np.asarray(b.series[name].values),
+            equal_nan=True,
+        ), f"{name} sample values diverge"
+
+
+def test_arrival_coalescing_is_identical():
+    """Buffering same-instant arrivals into one submit_bulk batch changes
+    nothing observable — with or without a quantum making real batches."""
+    base = _quantized(n_nodes=80, duration=4000.0, sample_period=1000.0,
+                      seed=9, arrival_quantum=5.0)
+    plain = _run(replace(base, coalesce_arrivals=False))
+    coalesced = _run(replace(base, coalesce_arrivals=True))
+    _assert_results_identical(plain, coalesced)
+
+
+def test_memory_budget_sweep_is_identical():
+    """Footprint trims are semantics-preserving: an aggressively small
+    budget (trim every sweep) changes no metric."""
+    base = _quantized(n_nodes=80, duration=4000.0, sample_period=1000.0, seed=13)
+    plain = _run(base)
+    trimmed = _run(replace(base, memory_budget_mb=0.001,
+                           memory_sweep_period=500.0))
+    _assert_results_identical(plain, trimmed)
+
+
+def test_mega_runs_are_deterministic():
+    """Two same-seed mega cells (all coalescing levers on) are
+    bit-identical."""
+    grid = mega_configs(scale="tiny", seed=5, n_nodes=300, duration=900.0)
+    config = grid["hid-can"]
+    _assert_results_identical(_run(config), _run(config))

@@ -25,7 +25,7 @@ from repro.experiments.scenarios import (
 def test_scenario_registry_covers_every_figure_and_table():
     assert set(SCENARIOS) == {
         "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "churn", "burst",
-        "table3",
+        "table3", "mega",
     }
 
 
@@ -48,6 +48,24 @@ def test_run_protocol_returns_result():
     res = run_protocol("hid-can", scale="tiny", demand_ratio=0.5, seed=1,
                        n_nodes=40, duration=3000.0)
     assert res.generated > 0
+
+
+def test_mega_configs_enable_every_coalescing_lever():
+    from repro.experiments.scenarios import MEGA_POPULATIONS, mega_configs
+
+    cfg = mega_configs(scale="tiny", seed=7)["hid-can"]
+    assert cfg.n_nodes == MEGA_POPULATIONS["tiny"]
+    assert cfg.protocol == "hid-can"
+    assert cfg.pidcan.tick_mode == "cohort"
+    assert cfg.pidcan.phase_buckets == 16
+    assert cfg.coalesce_arrivals
+    assert cfg.arrival_quantum == 1.0
+    assert cfg.memory_budget_mb == 768.0
+    shrunk = mega_configs(scale="tiny", seed=7, n_nodes=64, duration=600.0)
+    assert shrunk["hid-can"].n_nodes == 64
+    assert shrunk["hid-can"].duration == 600.0
+    with pytest.raises(ValueError, match="unknown scale"):
+        mega_configs(scale="huge")
 
 
 def test_run_scenario_unknown_name():

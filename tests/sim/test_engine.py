@@ -267,3 +267,175 @@ def test_pending_counts_fired_events_down():
         sim.schedule(float(i + 1), lambda: None)
     sim.run(until=2.5)
     assert sim.pending() == 2
+
+
+# ----------------------------------------------------------------------
+# cohort timers (docs/coalescing.md)
+# ----------------------------------------------------------------------
+def test_cohort_delivers_founders_in_insertion_order():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    for member in (3, 1, 2):
+        timer.add(member)
+    sim.run(until=25.0)
+    assert out == [(3, 1, 2), (3, 1, 2), (3, 1, 2)]  # t=0, 10, 20
+
+
+def test_cohort_epoch_sets_the_grid():
+    sim = Simulator()
+    times = []
+    timer = sim.periodic_cohort(10.0, lambda batch: times.append(sim.now), epoch=4.0)
+    timer.add("a")
+    sim.run(until=35.0)
+    assert times == [4.0, 14.0, 24.0, 34.0]
+
+
+def test_cohort_first_fire_is_next_grid_instant_not_epoch():
+    sim = Simulator()
+    sim.schedule(17.0, lambda: None)
+    sim.run()
+    assert sim.now == 17.0
+    times = []
+    timer = sim.periodic_cohort(5.0, lambda batch: times.append(sim.now), epoch=1.0)
+    timer.add("a")
+    sim.run(until=32.0)
+    assert times == [21.0, 26.0, 31.0]
+
+
+def test_cohort_late_joiner_straggles_once_then_merges():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    timer.add("a")
+    # Joining from a later event (off-grid) gets a one-shot solo delivery
+    # at the pending fire instant, then rides the shared batch.
+    sim.schedule(5.0, timer.add, "b")
+    sim.run(until=25.0)
+    # t=0: batch; t=10: batch then straggler (the batch's heap entry is
+    # older, exactly like a per-member chain armed at t=5); t=20: merged.
+    assert out == [("a",), ("a",), ("b",), ("a", "b")]
+
+
+def test_cohort_discard_cancels_pending_straggler():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    timer.add("a")
+    sim.schedule(5.0, timer.add, "b")
+    sim.schedule(7.0, timer.discard, "b")
+    sim.run(until=15.0)
+    assert out == [("a",), ("a",)]
+    assert "b" not in timer
+
+
+def test_cohort_discard_from_inside_callback_sticks():
+    sim = Simulator()
+    out = []
+
+    def fn(batch):
+        out.append(batch)
+        timer.discard("b")
+
+    timer = sim.periodic_cohort(10.0, fn)
+    timer.add("a")
+    timer.add("b")
+    sim.run(until=25.0)
+    assert out == [("a", "b"), ("a",), ("a",)]
+
+
+def test_cohort_cancel_stops_everything():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    timer.add("a")
+    sim.schedule(5.0, timer.add, "b")     # straggler pending at t=10
+    sim.schedule(6.0, timer.cancel)
+    sim.run(until=40.0)
+    assert out == [("a",)]  # only the t=0 fire
+    assert timer.cancelled
+    with pytest.raises(SimulationError):
+        timer.add("c")
+
+
+def test_cohort_add_is_idempotent():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    timer.add("a")
+    timer.add("a")
+    assert len(timer) == 1
+    sim.run(until=5.0)
+    assert out == [("a",)]
+
+
+def test_cohort_empty_timer_keeps_ticking():
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    sim.run(until=25.0)
+    assert out == [(), (), ()]
+    assert not timer.cancelled
+
+
+def test_cohort_tick_charges_one_unit_per_member():
+    """A batched fire counts as len(batch) event units, so
+    ``run(max_events=...)`` budgets stay comparable across tick modes."""
+    sim = Simulator()
+    out = []
+    timer = sim.periodic_cohort(10.0, out.append)
+    for member in ("a", "b", "c"):
+        timer.add(member)
+    sim.run(max_events=2)
+    # One tick fires (3 units >= the 2-unit budget); the accounting
+    # records all three member callbacks, not one heap pop.
+    assert out == [("a", "b", "c")]
+    assert sim.events_processed == 3
+    timer.cancel()
+
+
+def test_cohort_empty_fire_counts_one_unit():
+    sim = Simulator()
+    sim.periodic_cohort(10.0, lambda batch: None)
+    sim.run(max_events=1)
+    assert sim.events_processed == 1
+
+
+def test_charge_events_rejects_negative():
+    sim = Simulator()
+
+    def bad():
+        sim.charge_events(-1)
+
+    sim.schedule(1.0, bad)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_cohort_matches_per_member_reference_under_churn():
+    """Global delivery log of one cohort timer == N per-member grid
+    chains, including members that join/leave mid-run (off-grid)."""
+    from repro.testing import ReferenceCohortScheduler
+
+    def drive(make_timer):
+        sim = Simulator()
+        log = []
+
+        def fn(batch):
+            for member in batch:
+                log.append((sim.now, member))
+
+        timer = make_timer(sim, fn)
+        timer.add(0)
+        timer.add(1)
+        sim.schedule(3.5, timer.add, 2)
+        sim.schedule(12.5, timer.discard, 1)
+        sim.schedule(26.5, timer.add, 3)
+        sim.schedule(26.5, timer.discard, 0)
+        sim.run(until=45.0)
+        return log
+
+    cohort_log = drive(lambda sim, fn: sim.periodic_cohort(10.0, fn))
+    ref_log = drive(lambda sim, fn: ReferenceCohortScheduler(sim, 10.0, fn))
+    assert cohort_log == ref_log
+    assert cohort_log  # non-trivial

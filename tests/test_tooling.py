@@ -69,3 +69,39 @@ def test_zone_store_equivalence_smoke():
 
     stats = assert_overlays_equivalent(seed=1, n=20, dims=3, steps=21)
     assert stats["routes"] > 0 and stats["diffusions"] > 0
+
+
+def test_cohort_equivalence_smoke():
+    """Fast-gate smoke of cohort event coalescing: a small HID-CAN cell
+    under cohort ticking must stay metric- and series-identical to the
+    per-node tick path (the full cells — paper scale, churn, baselines —
+    live in tests/experiments/test_coalescing.py)."""
+    from repro.core.protocol import PIDCANParams
+    from repro.experiments.config import ExperimentConfig
+    from repro.testing import assert_tick_modes_equivalent
+
+    per_node, _ = assert_tick_modes_equivalent(
+        ExperimentConfig(
+            protocol="hid-can",
+            demand_ratio=0.5,
+            n_nodes=48,
+            duration=3000.0,
+            sample_period=1000.0,
+            seed=2,
+            pidcan=PIDCANParams(phase_buckets=16),
+        )
+    )
+    assert per_node.generated > 0
+
+
+def test_mega_scenario_smoke():
+    """The mega tier runs end-to-end at toy size with every coalescing
+    lever on (cohort ticking, arrival quantum+coalescing, memory budget)."""
+    from repro.experiments.scenarios import run_scenario
+
+    results = run_scenario("mega", scale="tiny", seed=1,
+                           n_nodes=64, duration=600.0)
+    result = results["hid-can"]
+    assert result.config.pidcan.tick_mode == "cohort"
+    assert result.config.coalesce_arrivals
+    assert result.generated > 0
