@@ -46,7 +46,12 @@ class CANStateBaseline(DiscoveryProtocol):
     ):
         self.ctx = ctx
         self.params = params
-        self.overlay = (overlay_cls or CANOverlay)(params.resource_dims, ctx.rng)
+        if overlay_cls is not None:
+            self.overlay = overlay_cls(params.resource_dims, ctx.rng)
+        else:
+            self.overlay = CANOverlay(
+                params.resource_dims, ctx.rng, compact=params.compact_dtypes
+            )
         self.caches: dict[int, StateCache] = {}
         self.tables: dict[int, IndexPointerTable] = {}
         self.lifecycle = QueryLifecycle(ctx, params.query_timeout)
@@ -60,7 +65,9 @@ class CANStateBaseline(DiscoveryProtocol):
     def bootstrap(self, node_ids: list[int]) -> None:
         self.overlay.bootstrap(node_ids)
         for node_id in node_ids:
-            self.caches[node_id] = StateCache(self.params.state_ttl)
+            self.caches[node_id] = StateCache(
+                self.params.state_ttl, compact=self.params.compact_dtypes
+            )
         # Tables are built after the full overlay exists (uncharged, like
         # PID-CAN's bootstrap).
         for node_id in node_ids:
@@ -69,7 +76,9 @@ class CANStateBaseline(DiscoveryProtocol):
 
     def on_join(self, node_id: int) -> None:
         self.overlay.join(node_id)
-        self.caches[node_id] = StateCache(self.params.state_ttl)
+        self.caches[node_id] = StateCache(
+            self.params.state_ttl, compact=self.params.compact_dtypes
+        )
         table = build_index_table(self.overlay, node_id, self.ctx.rng)
         self.tables[node_id] = table
         self.ctx.charge_local("maintenance", node_id, table.build_messages)
@@ -119,15 +128,13 @@ class CANStateBaseline(DiscoveryProtocol):
                 )
 
     def _arm_state_updates(self, node_id: int) -> None:
-        period = self.params.state_period
-
-        def tick() -> None:
-            if not self.ctx.is_alive(node_id) or node_id not in self.overlay:
-                return
-            self._state_update(node_id)
-            self.ctx.sim.schedule(period, tick)
-
-        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+        self.ctx.start_periodic(
+            self.params.state_period,
+            lambda: self._state_update(node_id),
+            alive=lambda: (
+                self.ctx.is_alive(node_id) and node_id in self.overlay
+            ),
+        )
 
     def _state_round(self, members: Sequence[int]) -> None:
         """One cohort state-update round: records in member order, routes

@@ -168,21 +168,19 @@ class MercuryProtocol(DiscoveryProtocol):
         hub = min(self.hubs, key=len)
         hub.add(node_id, float(self.ctx.rng.uniform()))
         self.hub_of[node_id] = hub.attribute
-        self.caches[node_id] = StateCache(self.params.state_ttl)
+        self.caches[node_id] = StateCache(
+            self.params.state_ttl, compact=self.params.compact_dtypes
+        )
 
     # ------------------------------------------------------------------
     # state updates: one insertion per hub (Mercury's replication)
     # ------------------------------------------------------------------
     def _arm_state_updates(self, node_id: int) -> None:
-        period = self.params.state_period
-
-        def tick() -> None:
-            if not self.ctx.is_alive(node_id):
-                return
-            self._state_update(node_id)
-            self.ctx.sim.schedule(period, tick)
-
-        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+        self.ctx.start_periodic(
+            self.params.state_period,
+            lambda: self._state_update(node_id),
+            alive=lambda: self.ctx.is_alive(node_id),
+        )
 
     def _state_update(self, node_id: int) -> None:
         availability = self.ctx.availability_of(node_id)
@@ -195,11 +193,11 @@ class MercuryProtocol(DiscoveryProtocol):
             hops = hub.routing_hops(node_id, point[hub.attribute])
             self.ctx.charge_local("state-update", node_id, max(hops, 1))
             delay = hops * self.ctx.network.delay(node_id, target)
-            self.ctx.sim.schedule(delay, self._deliver_state, target, record)
+            self.ctx.deliver_after(delay, target, self._deliver_state, target, record)
 
     def _deliver_state(self, target: int, record: StateRecord) -> None:
         cache = self.caches.get(target)
-        if cache is not None and self.ctx.is_alive(target):
+        if cache is not None:
             cache.put(record)
 
     # ------------------------------------------------------------------
@@ -232,8 +230,8 @@ class MercuryProtocol(DiscoveryProtocol):
         self.ctx.charge_local("duty-query", requester, max(hops, 1))
         rt.messages += max(hops, 1)
         delay = hops * self.ctx.network.delay(requester, entry)
-        self.ctx.sim.schedule(
-            delay, self._walk, rt.qid, hub.attribute, entry, self.walk_budget
+        self.ctx.deliver_after(
+            delay, entry, self._walk, rt.qid, hub.attribute, entry, self.walk_budget
         )
 
     def _walk(self, qid: int, hub_idx: int, node_id: int, budget: int) -> None:

@@ -111,15 +111,11 @@ class NewscastProtocol(DiscoveryProtocol):
     # gossip cycle
     # ------------------------------------------------------------------
     def _arm_gossip(self, node_id: int) -> None:
-        period = self.params.state_period
-
-        def tick() -> None:
-            if not self.ctx.is_alive(node_id):
-                return
-            self._gossip_once(node_id)
-            self.ctx.sim.schedule(period, tick)
-
-        self.ctx.sim.schedule(self.ctx.rng.uniform(0, period), tick)
+        self.ctx.start_periodic(
+            self.params.state_period,
+            lambda: self._gossip_once(node_id),
+            alive=lambda: self.ctx.is_alive(node_id),
+        )
 
     def _gossip_once(self, node_id: int) -> None:
         view = self.views.get(node_id, [])

@@ -47,7 +47,9 @@ class CANOverlay:
     #: oracle) set this False so invariants skip the direction cache.
     _caches_directions = True
 
-    def __init__(self, dims: int, rng: np.random.Generator):
+    def __init__(
+        self, dims: int, rng: np.random.Generator, compact: bool = False
+    ):
         if dims < 1:
             raise ValueError("dims must be >= 1")
         self.dims = dims
@@ -55,7 +57,9 @@ class CANOverlay:
         self.nodes: dict[int, OverlayNode] = {}
         self.tree: Optional[PartitionTree] = None
         #: SoA mirror of all live zones, kept in sync by join/leave.
-        self.geometry = ZoneStore(dims)
+        #: ``compact`` stores bounds as float32 / ids as int32 — zone
+        #: bounds are dyadic so the routing kernels stay bit-identical.
+        self.geometry = ZoneStore(dims, compact=compact)
         #: Routing candidate pools (managed by :mod:`repro.can.routing`).
         self._route_pools: dict = {}
 

@@ -65,6 +65,43 @@ _INT64_MAX = np.iinfo(np.int64).max
 _NEAR_TIE = 1.0 + 2.0 ** -40
 
 
+def _probe_pow_half() -> bool:
+    """Does ``np.sqrt(x)`` reproduce Python's ``x ** 0.5`` bit for bit?
+
+    The decisive routing comparisons are contractually in the seed's
+    scalar ``acc ** 0.5`` space.  numpy's sqrt is the IEEE correctly-
+    rounded root; CPython's ``**`` goes through libm ``pow``, which on
+    every libm we target (glibc >= 2.28 pow is correctly rounded; before
+    that npy/libm still special-case the exponent 0.5) agrees exactly —
+    but that is a platform property, so it is *probed once at import*
+    over a deterministic sample plus the specials, and the vectorized
+    root is only used where the probe passed.  The per-element Python
+    pow loop remains as the fallback (and the contract's definition).
+    """
+    rng = np.random.default_rng(0x5EED_D157)
+    xs = np.concatenate([
+        rng.uniform(0.0, 4.0, size=4096),
+        rng.uniform(0.0, 1e-30, size=256),
+        rng.uniform(1e20, 1e30, size=256),
+        [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, np.inf],
+    ])
+    roots = np.sqrt(xs)
+    return all(
+        r == x ** 0.5 for r, x in zip(roots.tolist(), xs.tolist())
+    )
+
+
+_SQRT_MATCHES_POW = _probe_pow_half()
+
+
+def _pow_half(accs: np.ndarray) -> np.ndarray:
+    """``acc ** 0.5`` per element, vectorized when the platform sqrt is
+    bit-equal to the scalar pow (see :func:`_probe_pow_half`)."""
+    if _SQRT_MATCHES_POW:
+        return np.sqrt(accs)
+    return np.array([a ** 0.5 for a in accs.tolist()])
+
+
 def _pow_space_best(accs: np.ndarray, ids) -> tuple[float, int]:
     """The seed's ``(distance, id)``-lexicographic candidate selection:
     screen on the squared accumulators, resolve near-ties by evaluating
@@ -380,8 +417,7 @@ def greedy_paths(
         accs = overlay.geometry.squared_distances_rows(
             P[known], overlay.geometry.rows_of(cur[known])
         )
-        for r, acc in zip(known, accs.tolist()):
-            d = acc ** 0.5
+        for r, d in zip(known, _pow_half(accs).tolist()):
             dist[r] = d
             if d == 0.0:
                 boundary.append(r)
@@ -442,7 +478,9 @@ def greedy_paths(
         idx = block_start[seg] + (np.arange(total, dtype=np.intp) - offs[seg])
         lo = pool.lo[idx]
         hi = pool.hi[idx]
-        p_seg = P[active][seg]
+        # One fancy-index (route row per candidate) instead of gathering
+        # the active rows and re-gathering per segment.
+        p_seg = P[active[seg]]
         clipped = np.clip(p_seg, lo, hi)
         np.subtract(clipped, p_seg, out=clipped)
         np.multiply(clipped, clipped, out=clipped)
@@ -455,7 +493,7 @@ def greedy_paths(
         # The decisive comparisons live in the seed's ``** 0.5`` space;
         # segments with more than one near-tied candidate re-run the
         # scalar (dist, id)-lexicographic selection exactly.
-        best_dist = np.array([a ** 0.5 for a in best_acc.tolist()])
+        best_dist = _pow_half(best_acc)
         n_near = np.add.reduceat(near.astype(np.int64), offs)
         for j in np.flatnonzero(n_near > 1).tolist():
             s0 = int(offs[j])
@@ -498,9 +536,20 @@ def greedy_paths(
             P[landed],
             overlay.geometry.rows_of([paths[r][-1] for r in landed]),
         )
+        # Memoize the perimeter walks within this batch: Table-I
+        # capacities are discrete, so stalled routes repeat the exact
+        # same (landing zone, boundary point) pairs — and the overlay is
+        # immutable for the duration of the call, so a cached walk is
+        # exact, not approximate.
+        memo: dict[tuple[int, tuple[float, ...]], list[int]] = {}
         for r, ok in zip(landed, owned.tolist()):
             if not ok:
-                paths[r].extend(_perimeter_hops(overlay, paths[r][-1], P[r]))
+                key = (paths[r][-1], tuple(P[r].tolist()))
+                hops = memo.get(key)
+                if hops is None:
+                    hops = _perimeter_hops(overlay, paths[r][-1], P[r])
+                    memo[key] = hops
+                paths[r].extend(hops)
 
     if on_error == "raise":
         for err in errors:

@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.metrics.traffic import TrafficMeter
+from repro.sim.delivery import DeliveryCalendar
 from repro.sim.engine import Simulator
 from repro.sim.network import CONTROL_MSG_BITS, NetworkModel
 
@@ -44,6 +45,7 @@ class ProtocolContext:
         availability_matrix_of: Optional[
             Callable[[Sequence[int]], np.ndarray]
         ] = None,
+        delivery: Optional[DeliveryCalendar] = None,
     ):
         self.sim = sim
         self.network = network
@@ -54,6 +56,10 @@ class ProtocolContext:
         self.is_alive = is_alive
         self._alive_mask = alive_mask
         self._availability_matrix_of = availability_matrix_of
+        #: Optional :class:`DeliveryCalendar`; when set, every message
+        #: delivery goes through it (same-instant batching), otherwise
+        #: each delivery is its own heap event (the reference path).
+        self.delivery = delivery
 
     def alive_mask(self, ids: np.ndarray) -> np.ndarray:
         """Vectorized membership test over an id array (the diffusion
@@ -98,7 +104,7 @@ class ProtocolContext:
         """
         self.traffic.charge(kind, src)
         delay = self.network.delay(src, dst, size_bits)
-        self.sim.schedule(delay, self._deliver, dst, handler, args)
+        self._schedule_delivery(delay, dst, handler, args)
 
     def send_path(
         self,
@@ -119,7 +125,7 @@ class ProtocolContext:
         for sender in path[:-1]:
             self.traffic.charge(kind, sender)
         delay = self.network.path_delay(list(path), size_bits)
-        self.sim.schedule(delay, self._deliver, path[-1], handler, args)
+        self._schedule_delivery(delay, path[-1], handler, args)
 
     def send_path_batch(
         self,
@@ -148,20 +154,70 @@ class ProtocolContext:
             # zero-count kind the sequential path would never create)
             self.traffic.by_kind[kind] += total_hops
         delays = self.network.path_delays([list(p) for p in paths], size_bits)
-        schedule = self.sim.schedule
-        for path, delay, args in zip(paths, delays, args_list):
-            schedule(delay, self._deliver, path[-1], handler, args)
+        if self.delivery is not None:
+            deliver = self.delivery.deliver
+            for path, delay, args in zip(paths, delays, args_list):
+                deliver(delay, self._deliver, path[-1], handler, args)
+        else:
+            schedule = self.sim.schedule
+            for path, delay, args in zip(paths, delays, args_list):
+                schedule(delay, self._deliver, path[-1], handler, args)
+
+    def deliver_after(
+        self, delay: float, dst: int, handler: Callable[..., None], *args
+    ) -> None:
+        """Deliver ``handler(*args)`` at ``dst`` after ``delay`` with the
+        shared dead-destination drop semantics, but without charging any
+        send-side traffic — for protocols that account hop charges
+        themselves (e.g. Mercury's hub forwarding) yet must not bypass
+        delivery accounting or coalescing."""
+        self._schedule_delivery(delay, dst, handler, args)
 
     def charge_local(self, kind: str, node_id: int, n: int = 1) -> None:
         """Charge messages without scheduling delivery (in-process bursts
         such as the diffusion tree expansion or a query flood)."""
         self.traffic.charge(kind, node_id, n)
 
+    def _schedule_delivery(
+        self, delay: float, dst: int, handler: Callable[..., None], args: tuple
+    ) -> None:
+        if self.delivery is not None:
+            self.delivery.deliver(delay, self._deliver, dst, handler, args)
+        else:
+            self.sim.schedule(delay, self._deliver, dst, handler, args)
+
     def _deliver(self, dst: int, handler: Callable[..., None], args: tuple) -> None:
         if not self.is_alive(dst):
             self.traffic.charge("dropped", dst)
             return
         handler(*args)
+
+    # ------------------------------------------------------------------
+    # periodic activities
+    # ------------------------------------------------------------------
+    def start_periodic(
+        self,
+        period: float,
+        tick: Callable[[], None],
+        *,
+        alive: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Arm a self-chaining periodic ``tick`` with a randomized phase
+        drawn uniformly from ``[0, period)`` — the shared form of the
+        periodic-start boilerplate every baseline used to duplicate.
+
+        The phase draw happens *at call time* on the ctx RNG stream
+        (identical stream position to the inlined pattern it replaces).
+        The chain dies when ``alive()`` turns false, so it needs no
+        cancellation handle — exactly like the legacy per-node chains.
+        """
+        def chain() -> None:
+            if alive is not None and not alive():
+                return
+            tick()
+            self.sim.schedule(period, chain)
+
+        self.sim.schedule(self.rng.uniform(0, period), chain)
 
     # ------------------------------------------------------------------
     # coordinate mapping

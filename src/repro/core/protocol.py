@@ -200,6 +200,10 @@ class PIDCANParams:
     #: seed); >= 1 quantizes phase draws onto a shared grid so nodes can
     #: share tick instants across both tick modes.
     phase_buckets: int = 0
+    #: Store the overlay's ZoneStore and the duty-node StateCaches in
+    #: compact dtypes (float32 + int32) — see ``ExperimentConfig``; the
+    #: runner threads its flag through here.
+    compact_dtypes: bool = False
 
     def __post_init__(self) -> None:
         if self.tick_mode not in TICK_MODES:
@@ -244,7 +248,12 @@ class PIDCANProtocol(DiscoveryProtocol):
         self.ctx = ctx
         self.params = params
         self.name = _variant_name(params)
-        self.overlay = (overlay_cls or CANOverlay)(params.overlay_dims, ctx.rng)
+        if overlay_cls is not None:
+            self.overlay = overlay_cls(params.overlay_dims, ctx.rng)
+        else:
+            self.overlay = CANOverlay(
+                params.overlay_dims, ctx.rng, compact=params.compact_dtypes
+            )
         self.caches: dict[int, StateCache] = {}
         self.pilists: dict[int, PIList] = {}
         self.tables: dict[int, IndexPointerTable] = {}
@@ -290,7 +299,9 @@ class PIDCANProtocol(DiscoveryProtocol):
             timer.discard(node_id)
 
     def _init_node_state(self, node_id: int) -> None:
-        self.caches[node_id] = StateCache(self.params.state_ttl)
+        self.caches[node_id] = StateCache(
+            self.params.state_ttl, compact=self.params.compact_dtypes
+        )
         self.pilists[node_id] = PIList(self.params.pilist_ttl, self.params.pilist_max)
 
     # ------------------------------------------------------------------

@@ -99,12 +99,28 @@ class ExperimentConfig:
     #: exponential draws are untouched — only the fire instants snap — so
     #: many arrivals share an instant and coalesce into real batches.
     arrival_quantum: float = 0.0
+    #: Batch same-instant message deliveries into one heap event per
+    #: delivery instant (:class:`repro.sim.delivery.DeliveryCalendar`).
+    #: Bit-identical to per-message scheduling when ``delivery_quantum``
+    #: is 0; event accounting is preserved either way.
+    coalesce_deliveries: bool = False
+    #: Round message delivery instants *up* onto this grid (0 = off) so
+    #: independent messages collide into real batches.  Deterministic but
+    #: no longer identical to the un-quantized run (bounded added latency
+    #: per message) — the delivery-side twin of ``arrival_quantum``.
+    delivery_quantum: float = 0.0
     #: Soft ceiling on the SoA storage of the host engine + overlay
     #: geometry; a periodic sweep trims slack capacity when exceeded
     #: (None = never trim).  Semantics-preserving at any value.
     memory_budget_mb: float | None = None
     #: How often the memory sweep checks the footprint.
     memory_sweep_period: float = 600.0
+    #: Store overlay geometry, duty caches and host-engine state in
+    #: compact dtypes (float32 values, int32 ids) to halve the SoA memory
+    #: ceiling.  Zone bounds are dyadic rationals so the overlay stays
+    #: bit-identical; cache/engine float32 state is approximate — default
+    #: off keeps today's float64 path byte-for-byte.
+    compact_dtypes: bool = False
 
     # environment ---------------------------------------------------------
     network: NetworkParams = field(default_factory=NetworkParams)
@@ -128,6 +144,8 @@ class ExperimentConfig:
             raise ValueError("burst_factor must be >= 1")
         if self.arrival_quantum < 0.0:
             raise ValueError("arrival_quantum must be >= 0")
+        if self.delivery_quantum < 0.0:
+            raise ValueError("delivery_quantum must be >= 0")
         if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
             raise ValueError("memory_budget_mb must be positive (or None)")
         if self.memory_sweep_period <= 0:

@@ -24,7 +24,7 @@ placement) is the ablation alternative.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -53,6 +53,7 @@ from repro.metrics.latency import LatencyReport, QueryLatency
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.ratios import RatioTracker
 from repro.metrics.traffic import TrafficMeter
+from repro.sim.delivery import DeliveryCalendar
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.rng import RngRegistry
@@ -160,7 +161,16 @@ class SOCSimulation:
         self.balance = PlacementBalance()
         self.latency = QueryLatency()
         self.tracer = Tracer(enabled=config.trace_tasks)
-        self.engine = HostEngine() if engine is None else engine
+        self.engine = (
+            HostEngine(compact=config.compact_dtypes) if engine is None
+            else engine
+        )
+        #: Same-instant delivery batching (docs/coalescing.md): one heap
+        #: event per delivery instant; ``None`` = per-message scheduling.
+        self.delivery: Optional[DeliveryCalendar] = (
+            DeliveryCalendar(self.sim, quantum=config.delivery_quantum)
+            if config.coalesce_deliveries else None
+        )
         self.hosts: dict[int, HostNode] = {}
         self._alive: set[int] = set()
         self._next_node_id = 0
@@ -203,9 +213,14 @@ class SOCSimulation:
             availability_of=self._availability_of,
             is_alive=self.is_alive,
             availability_matrix_of=self._availability_matrix_of,
+            delivery=self.delivery,
+        )
+        pidcan = (
+            replace(config.pidcan, compact_dtypes=True)
+            if config.compact_dtypes else config.pidcan
         )
         self.protocol = make_protocol(
-            config.protocol, self.ctx, config.pidcan,
+            config.protocol, self.ctx, pidcan,
             overlay_cls=overlay_cls, **config.protocol_kwargs
         )
         if self.protocol.lifecycle is not None:
@@ -424,9 +439,16 @@ class SOCSimulation:
         remaining = [r for r in records if r.owner != pick.owner]
         delay = self.network.delay(task.origin, pick.owner, PLACEMENT_MSG_BITS)
         self.traffic.charge("placement", task.origin)
-        self.sim.schedule(
-            delay, self._arrive_placement, task, pick.owner, remaining, retries_left
-        )
+        if self.delivery is not None:
+            self.delivery.deliver(
+                delay, self._arrive_placement, task, pick.owner, remaining,
+                retries_left,
+            )
+        else:
+            self.sim.schedule(
+                delay, self._arrive_placement, task, pick.owner, remaining,
+                retries_left,
+            )
 
     def _arrive_placement(
         self,

@@ -33,6 +33,8 @@ __all__ = [
     "CHURN_SWEEP_DEGREES",
     "MEGA_POPULATIONS",
     "MEGA_DURATIONS",
+    "MEGA2_POPULATIONS",
+    "MEGA2_DURATIONS",
     "scalability_populations",
 ]
 
@@ -90,6 +92,22 @@ MEGA_POPULATIONS: dict[str, int] = {
 #: Horizon per scale of the ``mega`` tier: short (tens of state rounds),
 #: because the point is round throughput at scale, not day-long series.
 MEGA_DURATIONS: dict[str, float] = {
+    "paper": 1800.0,
+    "small": 1500.0,
+    "tiny": 1200.0,
+}
+
+#: Population per scale of the ``mega2`` tier: the next rung toward 10^6
+#: nodes, reachable only with delivery coalescing + compact dtypes on
+#: top of mega's levers — 3x10^5 nodes at ``paper``.
+MEGA2_POPULATIONS: dict[str, int] = {
+    "paper": 300_000,
+    "small": 40_000,
+    "tiny": 8_000,
+}
+
+#: Horizon per scale of the ``mega2`` tier (same rationale as mega).
+MEGA2_DURATIONS: dict[str, float] = {
     "paper": 1800.0,
     "small": 1500.0,
     "tiny": 1200.0,
@@ -282,6 +300,8 @@ def mega_configs(
         "pidcan": PIDCANParams(tick_mode="cohort", phase_buckets=16),
         "coalesce_arrivals": True,
         "arrival_quantum": 1.0,
+        "coalesce_deliveries": True,
+        "delivery_quantum": 0.1,
         "memory_budget_mb": 768.0,
         "memory_sweep_period": 300.0,
         "sample_period": 300.0,
@@ -289,6 +309,27 @@ def mega_configs(
     }
     params.pop("seed", None)
     return {"hid-can": ExperimentConfig(seed=seed, **params)}
+
+
+def mega2_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
+    """The 3x10^5-node tier: every mega lever plus compact (float32/int32)
+    state arrays, pushing the same short-horizon HID-CAN cell toward 10^6
+    nodes.  Populations come from :data:`MEGA2_POPULATIONS`; overrides
+    apply verbatim, so smokes can shrink a cell.
+    """
+    if scale not in MEGA2_POPULATIONS:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected {sorted(MEGA2_POPULATIONS)}"
+        )
+    params: dict[str, Any] = {
+        "n_nodes": MEGA2_POPULATIONS[scale],
+        "duration": MEGA2_DURATIONS[scale],
+        "compact_dtypes": True,
+        **overrides,
+    }
+    return mega_configs(scale, seed=seed, **params)
 
 
 #: Scenario name → config-grid builder (labels follow the paper's curves).
@@ -303,6 +344,7 @@ SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
     "burst": burst_configs,
     "table3": table3_configs,
     "mega": mega_configs,
+    "mega2": mega2_configs,
 }
 
 
@@ -388,6 +430,15 @@ def mega(
     return _run_grid(mega_configs(scale, seed, **overrides))
 
 
+def mega2(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, SimulationResult]:
+    """The compact-dtype 3x10^5-node tier (see :func:`mega2_configs`).
+    Extra keyword arguments are config overrides (``n_nodes``,
+    ``duration``, ...) so smokes can shrink the cell."""
+    return _run_grid(mega2_configs(scale, seed, **overrides))
+
+
 SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "fig4a": fig4a,
     "fig4b": fig4b,
@@ -399,6 +450,7 @@ SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "burst": burst,
     "table3": table3,
     "mega": mega,
+    "mega2": mega2,
 }
 
 

@@ -34,6 +34,7 @@ vectorized hot paths, verbatim, as equivalence oracles:
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -71,6 +72,9 @@ __all__ = [
     "reference_greedy_path",
     "reference_inscan_path",
     "assert_tick_modes_equivalent",
+    "ReferenceDeliveryCalendar",
+    "assert_results_identical",
+    "assert_delivery_modes_equivalent",
 ]
 
 #: Work below this is treated as done (guards float round-off at completion).
@@ -1118,27 +1122,90 @@ def assert_tick_modes_equivalent(config, *, abort_after: float | None = None):
             sim.sim.schedule(abort_after, sim.sim.stop)
         results.append(sim.run())
     per_node, cohort = results
+    assert_results_identical(per_node, cohort)
+    return per_node, cohort
 
-    assert per_node.generated == cohort.generated
-    assert per_node.finished == cohort.finished
-    assert per_node.failed == cohort.failed
-    assert per_node.placed == cohort.placed
-    assert per_node.evicted == cohort.evicted
-    assert per_node.recovered == cohort.recovered
-    assert per_node.query_timeouts == cohort.query_timeouts
-    assert per_node.peak_population == cohort.peak_population
-    assert per_node.traffic_by_kind == cohort.traffic_by_kind
-    assert per_node.traffic_total == cohort.traffic_total
-    assert per_node.balance == cohort.balance
-    assert per_node.query_latency == cohort.query_latency
-    assert per_node.efficiencies == cohort.efficiencies
-    assert set(per_node.series) == set(cohort.series)
-    for name, series in per_node.series.items():
-        other = cohort.series[name]
+
+def assert_results_identical(a, b) -> None:
+    """Assert two :class:`SimulationResult` runs are metric- and
+    series-identical.  Equality is exact — not approx — because every
+    coalescing lever (cohort ticking, arrival batching, delivery
+    batching) is a pure event-batching transform: same RNG streams, same
+    instants, same delivery order."""
+    assert a.generated == b.generated
+    assert a.finished == b.finished
+    assert a.failed == b.failed
+    assert a.placed == b.placed
+    assert a.evicted == b.evicted
+    assert a.recovered == b.recovered
+    assert a.query_timeouts == b.query_timeouts
+    assert a.peak_population == b.peak_population
+    assert a.traffic_by_kind == b.traffic_by_kind
+    assert a.traffic_total == b.traffic_total
+    assert a.balance == b.balance
+    assert a.query_latency == b.query_latency
+    assert a.efficiencies == b.efficiencies
+    assert set(a.series) == set(b.series)
+    for name, series in a.series.items():
+        other = b.series[name]
         assert series.times == other.times, f"{name} sample times diverge"
         # Exact equality, but NaN == NaN (early fairness samples are NaN
         # before any task finishes).
         assert np.array_equal(
             np.asarray(series.values), np.asarray(other.values), equal_nan=True
         ), f"{name} sample values diverge"
-    return per_node, cohort
+
+
+class ReferenceDeliveryCalendar:
+    """Per-message scheduling behind the calendar API, kept as the
+    behavioural oracle for :class:`repro.sim.delivery.DeliveryCalendar`:
+    every ``deliver`` is its own heap event, exactly the pre-calendar
+    discipline.  Counters mirror the calendar's (each delivery is its own
+    flush) so accounting comparisons read symmetrically."""
+
+    __slots__ = ("sim", "quantum", "deliveries", "flushes")
+
+    def __init__(self, sim: Simulator, quantum: float = 0.0):
+        if quantum < 0:
+            raise ValueError("quantum must be >= 0")
+        self.sim = sim
+        self.quantum = float(quantum)
+        self.deliveries = 0
+        self.flushes = 0
+
+    def deliver(self, delay: float, fn: Callable, *args) -> None:
+        self.deliver_at(self.sim.now + delay, fn, *args)
+
+    def deliver_at(self, when: float, fn: Callable, *args) -> None:
+        if self.quantum > 0.0:
+            when = math.ceil(when / self.quantum) * self.quantum
+        self.deliveries += 1
+        self.flushes += 1
+        self.sim.schedule_at(when, fn, *args)
+
+
+def assert_delivery_modes_equivalent(config, *, abort_after: float | None = None):
+    """Run ``config`` once per delivery mode (per-message vs coalesced,
+    quantum 0) and assert the runs are metric- and series-identical.
+
+    Coalescing at quantum 0 batches only genuinely same-instant
+    deliveries and replays each batch in enqueue order, so the runs must
+    match exactly.  Returns the ``(per_message, coalesced)`` result pair
+    so callers can make further assertions (e.g. ``generated > 0``).
+    """
+    from dataclasses import replace
+
+    from repro.experiments.runner import SOCSimulation
+
+    results = []
+    for coalesce in (False, True):
+        cfg = replace(
+            config, coalesce_deliveries=coalesce, delivery_quantum=0.0
+        )
+        sim = SOCSimulation(cfg)
+        if abort_after is not None:
+            sim.sim.schedule(abort_after, sim.sim.stop)
+        results.append(sim.run())
+    per_message, coalesced = results
+    assert_results_identical(per_message, coalesced)
+    return per_message, coalesced

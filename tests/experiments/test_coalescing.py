@@ -16,8 +16,11 @@ import numpy as np
 from repro.core.protocol import PIDCANParams
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SOCSimulation
-from repro.experiments.scenarios import mega_configs
-from repro.testing import assert_tick_modes_equivalent
+from repro.experiments.scenarios import mega2_configs, mega_configs
+from repro.testing import (
+    assert_delivery_modes_equivalent,
+    assert_tick_modes_equivalent,
+)
 
 
 def _quantized(**overrides) -> ExperimentConfig:
@@ -127,4 +130,67 @@ def test_mega_runs_are_deterministic():
     bit-identical."""
     grid = mega_configs(scale="tiny", seed=5, n_nodes=300, duration=900.0)
     config = grid["hid-can"]
+    _assert_results_identical(_run(config), _run(config))
+
+
+def test_delivery_coalescing_is_identical():
+    """Batching same-instant message deliveries into one flush event
+    (quantum 0) changes nothing observable."""
+    per_message, _ = assert_delivery_modes_equivalent(
+        _quantized(n_nodes=80, duration=4000.0, sample_period=1000.0, seed=9)
+    )
+    assert per_message.generated > 0
+
+
+def test_delivery_coalescing_identical_under_churn():
+    """Dead-target drops and failsafe-resolved chains must coalesce the
+    same way they schedule per-message."""
+    per_message, _ = assert_delivery_modes_equivalent(
+        _quantized(
+            n_nodes=100, duration=4000.0, sample_period=1000.0, seed=7,
+            churn_degree=0.25, churn_lifetime=1500.0,
+        )
+    )
+    assert per_message.generated > 0
+
+
+def test_delivery_coalescing_identical_at_paper_scale():
+    """The acceptance cell: a paper-population (2000 node) HID-CAN run
+    with delivery coalescing on is metric- and series-identical to the
+    per-message reference path."""
+    per_message, _ = assert_delivery_modes_equivalent(
+        _quantized(n_nodes=2000, duration=1200.0, sample_period=400.0, seed=11)
+    )
+    assert per_message.generated > 0
+    assert per_message.finished > 0
+
+
+def test_compact_dtypes_off_is_identical_to_legacy():
+    """``compact_dtypes=False`` (the default) is byte-for-byte today's
+    float64 path: flipping the flag off explicitly changes nothing."""
+    base = _quantized(n_nodes=80, duration=4000.0, sample_period=1000.0, seed=21)
+    _assert_results_identical(
+        _run(base), _run(replace(base, compact_dtypes=False))
+    )
+
+
+def test_compact_dtypes_run_is_sane_and_deterministic():
+    """The float32/int32 arrays are approximate by design, so no identity
+    claim — but the run must complete work and be self-deterministic."""
+    cfg = replace(
+        _quantized(n_nodes=120, duration=4000.0, sample_period=1000.0, seed=17),
+        compact_dtypes=True,
+    )
+    a, b = _run(cfg), _run(cfg)
+    _assert_results_identical(a, b)
+    assert a.generated > 0
+    assert a.finished > 0
+
+
+def test_mega2_runs_are_deterministic():
+    """Two same-seed mega2 cells (delivery coalescing + compact dtypes on
+    top of every mega lever) are bit-identical."""
+    grid = mega2_configs(scale="tiny", seed=5, n_nodes=300, duration=900.0)
+    config = grid["hid-can"]
+    assert config.compact_dtypes and config.coalesce_deliveries
     _assert_results_identical(_run(config), _run(config))

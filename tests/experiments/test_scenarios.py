@@ -25,7 +25,7 @@ from repro.experiments.scenarios import (
 def test_scenario_registry_covers_every_figure_and_table():
     assert set(SCENARIOS) == {
         "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "churn", "burst",
-        "table3", "mega",
+        "table3", "mega", "mega2",
     }
 
 
@@ -64,8 +64,25 @@ def test_mega_configs_enable_every_coalescing_lever():
     shrunk = mega_configs(scale="tiny", seed=7, n_nodes=64, duration=600.0)
     assert shrunk["hid-can"].n_nodes == 64
     assert shrunk["hid-can"].duration == 600.0
+    assert cfg.coalesce_deliveries
+    assert cfg.delivery_quantum == 0.1
+    assert not cfg.compact_dtypes
     with pytest.raises(ValueError, match="unknown scale"):
         mega_configs(scale="huge")
+
+
+def test_mega2_configs_add_compact_dtypes():
+    from repro.experiments.scenarios import MEGA2_POPULATIONS, mega2_configs
+
+    cfg = mega2_configs(scale="tiny", seed=7)["hid-can"]
+    assert cfg.n_nodes == MEGA2_POPULATIONS["tiny"]
+    assert cfg.compact_dtypes
+    assert cfg.coalesce_deliveries and cfg.coalesce_arrivals
+    assert cfg.pidcan.tick_mode == "cohort"
+    shrunk = mega2_configs(scale="tiny", seed=7, n_nodes=96, duration=600.0)
+    assert shrunk["hid-can"].n_nodes == 96
+    with pytest.raises(ValueError, match="unknown scale"):
+        mega2_configs(scale="huge")
 
 
 def test_run_scenario_unknown_name():

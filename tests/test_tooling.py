@@ -94,9 +94,33 @@ def test_cohort_equivalence_smoke():
     assert per_node.generated > 0
 
 
+def test_delivery_coalescing_equivalence_smoke():
+    """Fast-gate smoke of delivery-event coalescing: a small HID-CAN cell
+    with the delivery calendar on must stay metric- and series-identical
+    to per-message scheduling (the full cells — paper scale, churn — live
+    in tests/experiments/test_coalescing.py)."""
+    from repro.core.protocol import PIDCANParams
+    from repro.experiments.config import ExperimentConfig
+    from repro.testing import assert_delivery_modes_equivalent
+
+    per_message, _ = assert_delivery_modes_equivalent(
+        ExperimentConfig(
+            protocol="hid-can",
+            demand_ratio=0.5,
+            n_nodes=48,
+            duration=3000.0,
+            sample_period=1000.0,
+            seed=2,
+            pidcan=PIDCANParams(phase_buckets=16),
+        )
+    )
+    assert per_message.generated > 0
+
+
 def test_mega_scenario_smoke():
     """The mega tier runs end-to-end at toy size with every coalescing
-    lever on (cohort ticking, arrival quantum+coalescing, memory budget)."""
+    lever on (cohort ticking, arrival quantum+coalescing, delivery
+    calendar, memory budget)."""
     from repro.experiments.scenarios import run_scenario
 
     results = run_scenario("mega", scale="tiny", seed=1,
@@ -104,4 +128,18 @@ def test_mega_scenario_smoke():
     result = results["hid-can"]
     assert result.config.pidcan.tick_mode == "cohort"
     assert result.config.coalesce_arrivals
+    assert result.config.coalesce_deliveries
+    assert result.generated > 0
+
+
+def test_mega2_scenario_smoke():
+    """The mega2 tier (compact dtypes on top of every mega lever) runs
+    end-to-end at toy size."""
+    from repro.experiments.scenarios import run_scenario
+
+    results = run_scenario("mega2", scale="tiny", seed=1,
+                           n_nodes=96, duration=600.0)
+    result = results["hid-can"]
+    assert result.config.compact_dtypes
+    assert result.config.coalesce_deliveries
     assert result.generated > 0
