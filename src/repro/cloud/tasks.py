@@ -26,7 +26,7 @@ import numpy as np
 from repro.cloud.machine import CMAX
 from repro.cloud.resources import ResourceVector
 
-__all__ = ["Task", "TaskFactory", "DEMAND_RANGES"]
+__all__ = ["Task", "TaskFactory", "DEMAND_RANGES", "demand_bounds"]
 
 #: (low, high) multipliers applied to the demand ratio λ, per dimension.
 DEMAND_RANGES: dict[str, tuple[float, float]] = {
@@ -147,6 +147,16 @@ class TaskFactory:
     def demand_upper_bound(demand_ratio: float) -> np.ndarray:
         """The corner λ·cmax of the demand box (used by SoS and tests)."""
         return _HIGHS * demand_ratio
+
+
+def demand_bounds(demand_ratio: float) -> tuple[np.ndarray, np.ndarray]:
+    """The Table-II demand box ``(lo, hi)`` at ratio λ (fresh copies).
+
+    The uniform sampler draws inside this box; the skewed workload
+    (:class:`repro.cloud.workload.SkewedTaskFactory`) anchors its hot-range
+    prototypes to it so skewed demands stay dominated by λ·CMAX too.
+    """
+    return _LOWS * demand_ratio, _HIGHS * demand_ratio
 
 
 def demand_fits_cmax() -> bool:

@@ -1,8 +1,18 @@
-"""Poisson task arrival process (§IV-A).
+"""Poisson task arrival process (§IV-A) and the skewed demand workload.
 
 User requests are generated on each node by a Poisson process with mean
 inter-arrival time 3000 s, so one simulated day on 2000 nodes yields about
 2000 × 86400/3000 ≈ 57600 tasks, matching the paper's accounting.
+
+The hot-range evaluation (docs/caching.md) additionally needs demand
+*skew*: real clouds ask for a few popular resource shapes far more often
+than the Table-II uniform box suggests.  :class:`SkewedTaskFactory`
+replaces the uniform demand sampler with draws near Zipf-popular
+prototype ranges of bounded-Pareto width, built on two standalone
+inverse-CDF samplers (:class:`ZipfRankSampler`,
+:class:`BoundedParetoSampler`).  Each sampler consumes exactly one
+``rng.uniform()`` per draw, so the RNG stream is stable across refactors
+— the property the workload stability tests pin.
 """
 
 from __future__ import annotations
@@ -12,10 +22,110 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cloud.tasks import Task, TaskFactory
+from repro.cloud.resources import ResourceVector
+from repro.cloud.tasks import Task, TaskFactory, demand_bounds
 from repro.sim.engine import Simulator
 
-__all__ = ["PoissonWorkload"]
+__all__ = [
+    "PoissonWorkload",
+    "ZipfRankSampler",
+    "BoundedParetoSampler",
+    "SkewedTaskFactory",
+]
+
+
+class ZipfRankSampler:
+    """Ranks ``0..k-1`` with probability ∝ ``(rank+1)^-s`` (Zipf's law).
+
+    Inverse-CDF over the precomputed normalized weights: one
+    ``rng.uniform()`` per draw, no rejection, so the consuming RNG stream
+    position depends only on the number of draws.  ``s=0`` degenerates to
+    the uniform distribution over ranks.
+    """
+
+    def __init__(self, s: float, k: int):
+        if s < 0:
+            raise ValueError(f"s must be >= 0, got {s!r}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        self.s = float(s)
+        self.k = int(k)
+        weights = np.arange(1, k + 1, dtype=np.float64) ** -self.s
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def draw(self, rng: np.random.Generator) -> int:
+        u = rng.uniform()
+        return min(int(np.searchsorted(self._cdf, u, side="right")), self.k - 1)
+
+
+class BoundedParetoSampler:
+    """Heavy-tailed values on ``[lo, hi]`` via the bounded Pareto
+    distribution with shape ``alpha`` (inverse-CDF, one ``rng.uniform()``
+    per draw).  Small values dominate; the tail up to ``hi`` stays fat
+    enough that occasional draws span a large fraction of the range —
+    the classic heavy-tailed width model for range queries."""
+
+    def __init__(self, alpha: float, lo: float, hi: float):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha!r}")
+        if not 0 < lo < hi:
+            raise ValueError(f"need 0 < lo < hi, got {lo!r}, {hi!r}")
+        self.alpha = float(alpha)
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self._la = lo**-self.alpha
+        self._ha = hi**-self.alpha
+
+    def draw(self, rng: np.random.Generator) -> float:
+        u = rng.uniform()
+        return float((self._la - u * (self._la - self._ha)) ** (-1.0 / self.alpha))
+
+
+class SkewedTaskFactory(TaskFactory):
+    """Table-II tasks with Zipf-skewed, heavy-tailed-width demand.
+
+    ``hot_ranges`` prototype demand points are drawn once (uniform in the
+    λ-scaled Table-II box).  Each task then picks a prototype with
+    Zipf(s) popularity, a relative range width from a bounded Pareto, and
+    jitters the prototype by ±width/2 of the box extent per dimension
+    (clipped back into the box, so demands stay dominated by λ·CMAX and
+    every scheduling invariant of the uniform workload holds).
+
+    RNG discipline: ``__init__`` consumes one ``uniform(size=(k, 5))``
+    block; every ``sample_demand`` consumes exactly three generator calls
+    (rank, width, 5-wide jitter) — stable and cheap.  Nominal-time
+    sampling is inherited untouched.
+    """
+
+    def __init__(
+        self,
+        demand_ratio: float,
+        rng: np.random.Generator,
+        mean_nominal_time: float = 3000.0,
+        *,
+        zipf_s: float = 1.0,
+        hot_ranges: int = 64,
+        width_alpha: float = 1.5,
+        width_lo: float = 0.02,
+        width_hi: float = 0.5,
+    ):
+        super().__init__(demand_ratio, rng, mean_nominal_time)
+        self.zipf_s = float(zipf_s)
+        self.hot_ranges = int(hot_ranges)
+        self._rank_sampler = ZipfRankSampler(zipf_s, hot_ranges)
+        self._width_sampler = BoundedParetoSampler(width_alpha, width_lo, width_hi)
+        self._lo, self._hi = demand_bounds(demand_ratio)
+        self._extent = self._hi - self._lo
+        self._prototypes = rng.uniform(
+            self._lo, self._hi, size=(self.hot_ranges, self._lo.shape[0])
+        )
+
+    def sample_demand(self) -> ResourceVector:
+        rank = self._rank_sampler.draw(self._rng)
+        width = self._width_sampler.draw(self._rng)
+        jitter = self._rng.uniform(-0.5, 0.5, size=self._lo.shape[0])
+        demand = self._prototypes[rank] + jitter * width * self._extent
+        return ResourceVector(np.clip(demand, self._lo, self._hi))
 
 
 class PoissonWorkload:

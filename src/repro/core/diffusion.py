@@ -153,6 +153,71 @@ class DiffusionEngine:
         return [self.diffuse(origin, method) for origin in origins]
 
     # ------------------------------------------------------------------
+    # hot-partition replica diffusion (docs/caching.md)
+    # ------------------------------------------------------------------
+    def replicate(
+        self,
+        origin: int,
+        caches: dict,
+        neighbors: Sequence[int] = (),
+        sources: int = 4,
+        kind: str = "index-replica",
+    ) -> int:
+        """One hot-partition replica round for duty node ``origin``.
+
+        Triggered when a duty node's windowed service count crosses the
+        replication threshold (docs/caching.md); two legs, both riding
+        the pools the index diffusion already maintains:
+
+        1. **Gather** — ``origin`` samples up to ``sources`` index nodes
+           from its own PIList (the pool Algorithm 1's backward diffusion
+           filled with exactly the record holders its query chains would
+           jump to) and each ships its γ partition back as one replica
+           batch (request + response, two messages), reconciled via
+           :meth:`repro.core.state.StateCache.merge`.  This is what
+           collapses the hot node's index-agent/jump chains: the duty
+           cache can now satisfy δ locally.
+        2. **Push** — ``origin`` forwards its enriched partition to the
+           adjacent zones (``neighbors``), which serve the jittered tail
+           of the hot range, one replica message each.
+
+        Returns the number of replica messages charged.  Merged records
+        keep their original report timestamps, so replication never
+        extends a record's lifetime — staleness stays TTL-bounded and
+        shows up as best-fit regret, not as immortal state.  Consumes RNG
+        from the shared protocol stream; replication only ever runs
+        cache-on, so the cache-off stream stays untouched.
+        """
+        cache = caches.get(origin)
+        if cache is None:
+            return 0
+        now = self.ctx.sim.now
+        sent = 0
+        pilist = self.pilists.get(origin)
+        if pilist is not None:
+            for src in pilist.sample(sources, now, self.ctx.rng):
+                peer = caches.get(src)
+                if peer is None or src == origin:
+                    continue
+                batch = peer.records(now)
+                if not batch:
+                    continue
+                self.ctx.charge_local(kind, origin)  # the pull request
+                self.ctx.charge_local(kind, src)  # the replica batch
+                cache.merge(batch)
+                sent += 2
+        records = cache.records(now)
+        if records:
+            for target in neighbors:
+                peer = caches.get(target)
+                if peer is None or target == origin:
+                    continue
+                self.ctx.charge_local(kind, origin)
+                peer.merge(records)
+                sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
     # HID: Algorithm 2 — every relay re-selects from its own table
     # ------------------------------------------------------------------
     def _hid_receive(

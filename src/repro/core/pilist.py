@@ -3,70 +3,24 @@
 Nodes receiving a diffused index store the originator's identifier here.
 Entries expire (diffusion is periodic, so liveness is re-established every
 sender cycle) and the list is size-capped with oldest-first eviction.
+
+Since the hot-range caching PR the implementation lives in
+:class:`repro.core.cache.RangeCache`: a PIList is exactly the ``dims=0``
+TTL-policy cache (keyed set, no range boxes).  The seed's scalar
+implementation is preserved verbatim as
+:class:`repro.testing.ReferencePIList` and pinned by a randomized
+lockstep test, so these semantics are enforced, not merely documented.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core.cache import RangeCache
 
 __all__ = ["PIList"]
 
 
-class PIList:
+class PIList(RangeCache):
     """Expiring, capped set of positively-located index-node identifiers."""
 
     def __init__(self, ttl: float, max_size: int = 64):
-        if ttl <= 0:
-            raise ValueError("ttl must be positive")
-        self.ttl = float(ttl)
-        self.max_size = int(max_size)
-        self._added_at: dict[int, float] = {}
-        #: Latest simulation time this list has observed; ``__len__`` and
-        #: ``__contains__`` expire against it so they agree with the most
-        #: recent ``entries()``/``sample()`` view (sim time is monotonic).
-        self._clock = 0.0
-
-    def _observe(self, now: float) -> None:
-        if now > self._clock:
-            self._clock = now
-
-    def add(self, node_id: int, now: float) -> None:
-        """Insert or refresh an index; evict the stalest when full."""
-        self._observe(now)
-        self._added_at[node_id] = now
-        if len(self._added_at) > self.max_size:
-            oldest = min(self._added_at, key=lambda k: (self._added_at[k], k))
-            del self._added_at[oldest]
-
-    def discard(self, node_id: int) -> None:
-        self._added_at.pop(node_id, None)
-
-    def purge(self, now: float) -> None:
-        self._observe(now)
-        cutoff = now - self.ttl
-        stale = [k for k, t in self._added_at.items() if t < cutoff]
-        for k in stale:
-            del self._added_at[k]
-
-    def entries(self, now: float) -> list[int]:
-        self.purge(now)
-        return sorted(self._added_at)
-
-    def sample(self, k: int, now: float, rng: np.random.Generator) -> list[int]:
-        """Up to ``k`` distinct indexes, uniformly at random (Algorithm 4
-        line 1)."""
-        pool = self.entries(now)
-        if len(pool) <= k:
-            return pool
-        picked = rng.choice(len(pool), size=k, replace=False)
-        return [pool[i] for i in picked]
-
-    def __len__(self) -> int:
-        """Live entry count as of the latest observed time (stale entries
-        are not reported, matching ``entries()``/``sample()``)."""
-        self.purge(self._clock)
-        return len(self._added_at)
-
-    def __contains__(self, node_id: int) -> bool:
-        added = self._added_at.get(node_id)
-        return added is not None and added >= self._clock - self.ttl
+        super().__init__(ttl, max_size, policy="ttl", dims=0)

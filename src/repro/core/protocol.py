@@ -30,6 +30,7 @@ from repro.can.inscan import (
 )
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
+from repro.core.cache import CACHE_POLICIES, PathCacheIndex
 from repro.core.context import ProtocolContext
 from repro.core.diffusion import DiffusionEngine
 from repro.core.lifecycle import LifecycleStats, QueryLifecycle, submit_batch
@@ -204,6 +205,17 @@ class PIDCANParams:
     #: compact dtypes (float32 + int32) — see ``ExperimentConfig``; the
     #: runner threads its flag through here.
     compact_dtypes: bool = False
+    #: Hot-range path caching (docs/caching.md): None = off (bit-identical
+    #: to the pre-cache protocol); else one of
+    #: :data:`repro.core.cache.CACHE_POLICIES`.
+    cache_policy: Optional[str] = None
+    cache_size: int = 128
+    cache_ttl: float = 1200.0
+    #: Diffuse a hot duty node's γ to adjacent zones once its windowed
+    #: service count crosses the threshold.
+    cache_replication: bool = False
+    replication_threshold: int = 8
+    replication_window: float = 400.0
 
     def __post_init__(self) -> None:
         if self.tick_mode not in TICK_MODES:
@@ -214,6 +226,25 @@ class PIDCANParams:
             raise ValueError(f"phase_buckets must be >= 0, got {self.phase_buckets!r}")
         if self.tick_mode == "cohort" and self.phase_buckets < 1:
             raise ValueError("cohort tick mode requires phase_buckets >= 1")
+        if self.cache_policy is not None and self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be None or one of {CACHE_POLICIES}, "
+                f"got {self.cache_policy!r}"
+            )
+        if self.cache_ttl <= 0:
+            raise ValueError(f"cache_ttl must be positive, got {self.cache_ttl!r}")
+        if self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size!r}")
+        if self.replication_threshold < 1:
+            raise ValueError(
+                f"replication_threshold must be >= 1, "
+                f"got {self.replication_threshold!r}"
+            )
+        if self.replication_window <= 0:
+            raise ValueError(
+                f"replication_window must be positive, "
+                f"got {self.replication_window!r}"
+            )
 
     @property
     def overlay_dims(self) -> int:
@@ -260,9 +291,22 @@ class PIDCANProtocol(DiscoveryProtocol):
         self.diffusion = DiffusionEngine(
             ctx, self.tables, self.pilists, params.overlay_dims, params.L
         )
+        #: Hot-range path cache (docs/caching.md); stays None — and every
+        #: code path below a ``path_cache is None`` guard stays dead —
+        #: unless a cache policy is selected.
+        self.path_cache: Optional[PathCacheIndex] = None
+        if params.cache_policy is not None:
+            self.path_cache = PathCacheIndex(
+                params.cache_policy,
+                size=params.cache_size,
+                ttl=params.cache_ttl,
+                dims=params.overlay_dims,
+                replication_threshold=params.replication_threshold,
+                replication_window=params.replication_window,
+            )
         self.queries = QueryEngine(
             ctx, self.overlay, self.tables, self.caches, self.pilists,
-            params.query_params(),
+            params.query_params(), cache=self.path_cache,
         )
         self.lifecycle = self.queries.lifecycle
         #: (activity kind, phase) -> shared CohortTimer (cohort mode only).
@@ -295,6 +339,8 @@ class PIDCANProtocol(DiscoveryProtocol):
         self.caches.pop(node_id, None)
         self.pilists.pop(node_id, None)
         self.tables.pop(node_id, None)
+        if self.path_cache is not None:
+            self.path_cache.drop_node(node_id)
         for timer in self._memberships.pop(node_id, ()):
             timer.discard(node_id)
 
@@ -303,6 +349,8 @@ class PIDCANProtocol(DiscoveryProtocol):
             self.params.state_ttl, compact=self.params.compact_dtypes
         )
         self.pilists[node_id] = PIList(self.params.pilist_ttl, self.params.pilist_max)
+        if self.path_cache is not None:
+            self.path_cache.add_node(node_id)
 
     # ------------------------------------------------------------------
     # periodic activities (self-chaining so they die with the node)
@@ -445,13 +493,16 @@ class PIDCANProtocol(DiscoveryProtocol):
 
     def _diffusion_round(self, members: Sequence[int]) -> None:
         now = self.ctx.sim.now
+        live = self._live_members(members)
         origins = []
-        for node_id in self._live_members(members):
+        for node_id in live:
             cache = self.caches.get(node_id)
             if cache is not None and cache.non_empty(now):
                 origins.append(node_id)
         if origins:
             self.diffusion.diffuse_round(origins, self.params.diffusion_method)
+        for node_id in live:
+            self._maybe_replicate(node_id)
 
     def _table_round(self, members: Sequence[int]) -> None:
         for node_id in self._live_members(members):
@@ -490,6 +541,26 @@ class PIDCANProtocol(DiscoveryProtocol):
         cache = self.caches.get(node_id)
         if cache is not None and cache.non_empty(self.ctx.sim.now):
             self.diffusion.diffuse(node_id, self.params.diffusion_method)
+        self._maybe_replicate(node_id)
+
+    def _maybe_replicate(self, node_id: int) -> None:
+        """Hot-partition replica diffusion (docs/caching.md), piggybacked
+        on the diffusion tick: a duty node whose windowed service count
+        crossed the threshold gathers the hot partition's records from
+        its PIList pool and pushes the merged partition to its adjacent
+        zones."""
+        path_cache = self.path_cache
+        if path_cache is None or not self.params.cache_replication:
+            return
+        if path_cache.take_hot(node_id, self.ctx.sim.now):
+            node = self.overlay.nodes.get(node_id)
+            neighbors = sorted(node.directions) if node is not None else ()
+            sent = self.diffusion.replicate(
+                node_id, self.caches, neighbors=neighbors
+            )
+            if sent:
+                path_cache.stats.replications += 1
+                path_cache.stats.replica_messages += sent
 
     def _table_tick(self, node_id: int) -> None:
         self._refresh_table(node_id, charge=True)

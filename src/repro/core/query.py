@@ -55,6 +55,7 @@ import numpy as np
 from repro.can.inscan import IndexPointerTable, inscan_path, inscan_paths
 from repro.can.overlay import CANOverlay
 from repro.can.routing import RoutingError
+from repro.core.cache import PathCacheIndex
 from repro.core.context import ProtocolContext
 from repro.core.lifecycle import QueryLifecycle, QueryRuntime, submit_batch
 from repro.core.pilist import PIList
@@ -89,6 +90,7 @@ class QueryEngine:
         caches: dict[int, StateCache],
         pilists: dict[int, PIList],
         params: QueryParams,
+        cache: PathCacheIndex | None = None,
     ):
         self.ctx = ctx
         self.overlay = overlay
@@ -96,6 +98,10 @@ class QueryEngine:
         self.caches = caches
         self.pilists = pilists
         self.params = params
+        #: Hot-range path cache (docs/caching.md); None = cache-off, which
+        #: keeps every routing call and RNG draw bit-identical to the
+        #: pre-cache protocol.
+        self.cache = cache
         # The shared requester-side machinery: runtime registry, failsafe
         # timeouts, exactly-once resolution.  The hook routes a firing
         # failsafe through the SoS retry decision instead of expiring
@@ -175,11 +181,7 @@ class QueryEngine:
             for rt in rts:
                 self._resolve(rt, False)
             return qids
-        points = np.asarray(points_l)
-        paths = inscan_paths(
-            self.overlay, self.tables, [requester] * len(rts), points,
-            on_error="none",
-        )
+        paths = self._route_batch([requester] * len(rts), points_l)
         for rt, path in zip(rts, paths):
             if path is None:
                 # Overlay under repair (churn); the query is lost.
@@ -263,11 +265,7 @@ class QueryEngine:
         for rt in dead:
             self._resolve(rt, False)
         if live:
-            paths = inscan_paths(
-                self.overlay, self.tables,
-                [rt.requester for rt in live], np.asarray(points),
-                on_error="none",
-            )
+            paths = self._route_batch([rt.requester for rt in live], points)
             for rt, path in zip(live, paths):
                 if path is None:
                     # Overlay under repair (churn); the query is lost.
@@ -293,6 +291,122 @@ class QueryEngine:
             point = np.append(point, self.ctx.rng.uniform())
         return point
 
+    # ------------------------------------------------------------------
+    # hot-range path cache (docs/caching.md); all no-ops when cache is off
+    # ------------------------------------------------------------------
+    def _cache_usable(self, duty: int) -> bool:
+        """A cached duty is only worth routing to while it is alive and
+        still holds a zone (churn invalidates lazily, at consult time)."""
+        return self.ctx.is_alive(duty) and duty in self.overlay.nodes
+
+    def _cache_probe(self, requester: int, point: np.ndarray) -> int | None:
+        """Consult the requester's cache; returns a live cached duty node
+        for ``point`` or None.  Tracks hit/miss/staleness counters."""
+        stats = self.cache.stats
+        stats.lookups += 1
+        duty = self.cache.lookup(requester, point, self.ctx.sim.now)
+        if duty is None:
+            stats.misses += 1
+            return None
+        if not self._cache_usable(duty):
+            self.cache.invalidate(requester, duty)
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        self._note_regret(duty, point)
+        return duty
+
+    def _note_regret(self, duty: int, point: np.ndarray) -> None:
+        """Staleness-induced best-fit regret: the cached duty no longer
+        matches the ground-truth owner of the query point (its zone split
+        or moved since the entry was stored), so the query lands on a
+        node whose γ holds looser-fitting records than the true duty's."""
+        try:
+            owner = self.overlay.owner_of(point)
+        except LookupError:
+            return
+        if duty != owner:
+            self.cache.stats.stale_hits += 1
+
+    def _relay_shorten(self, path: list[int], point: np.ndarray) -> list[int]:
+        """Let each relay hop of a greedy route consult its own cache and
+        truncate the remaining walk when it knows a closer duty node."""
+        now = self.ctx.sim.now
+        for i in range(1, len(path) - 1):
+            duty = self.cache.lookup(path[i], point, now)
+            if duty is None:
+                continue
+            if not self._cache_usable(duty):
+                self.cache.invalidate(path[i], duty)
+                continue
+            short = path[: i + 1] if duty == path[i] else [*path[: i + 1], duty]
+            if len(short) < len(path):
+                self.cache.stats.relay_hits += 1
+                self._note_regret(duty, point)
+                return short
+        return path
+
+    def _populate_route(self, path: list[int]) -> None:
+        """Remember the routed duty node (with its zone box) at the
+        requester and every relay hop — the query response travelling the
+        return path carries exactly this binding."""
+        duty = path[-1]
+        try:
+            lo, hi = self.overlay.geometry.bounds_of(duty)
+        except KeyError:
+            return
+        now = self.ctx.sim.now
+        for node in path[:-1]:
+            self.cache.store(node, duty, lo, hi, now)
+
+    def _finish_route(self, path: list[int], point: np.ndarray) -> list[int]:
+        """Post-process a freshly greedy-routed path: relay caches may
+        truncate it; a full (untruncated) route is authoritative ground
+        truth and populates the caches along it."""
+        short = self._relay_shorten(path, point)
+        if short is path:
+            self._populate_route(path)
+        return short
+
+    def _route_batch(
+        self, requesters: list[int], points: list[np.ndarray]
+    ) -> list[list[int] | None]:
+        """Batched duty-query routing with the cache consulted first.
+
+        Cache-off this is exactly the one lockstep
+        :func:`~repro.can.inscan.inscan_paths` call of the pre-cache
+        protocol.  Cache-on, requester hits short-circuit to their cached
+        duty and only the misses go through greedy routing (still one
+        batched pass); cache operations consume no RNG, so the miss
+        sub-batch routes identically to routing it alone.
+        """
+        arr = np.asarray(points)
+        if self.cache is None:
+            return inscan_paths(
+                self.overlay, self.tables, requesters, arr, on_error="none"
+            )
+        paths: list[list[int] | None] = [None] * len(requesters)
+        miss: list[int] = []
+        for i, requester in enumerate(requesters):
+            duty = self._cache_probe(requester, points[i])
+            if duty is None:
+                miss.append(i)
+            else:
+                paths[i] = [requester, duty]
+        if miss:
+            routed = inscan_paths(
+                self.overlay, self.tables,
+                [requesters[i] for i in miss], arr[miss],
+                on_error="none",
+            )
+            for i, path in zip(miss, routed):
+                paths[i] = (
+                    self._finish_route(path, points[i])
+                    if path is not None
+                    else None
+                )
+        return paths
+
     def _launch(self, rt: QueryRuntime, timed_out: bool = False) -> None:
         """Start (or re-start, for SoS) the query chain.
 
@@ -305,20 +419,53 @@ class QueryEngine:
             self._resolve(rt, timed_out)
             return
         point = self._query_point(rt.v)
-        try:
-            path = inscan_path(self.overlay, self.tables, rt.requester, point)
-        except (RoutingError, KeyError):
-            # Overlay under repair (churn); the query is lost.
-            self._resolve(rt, timed_out)
-            return
+        path: list[int] | None = None
+        if self.cache is not None:
+            duty = self._cache_probe(rt.requester, point)
+            if duty is not None:
+                path = [rt.requester, duty]
+        if path is None:
+            try:
+                path = inscan_path(
+                    self.overlay, self.tables, rt.requester, point
+                )
+            except (RoutingError, KeyError):
+                # Overlay under repair (churn); the query is lost.
+                self._resolve(rt, timed_out)
+                return
+            if self.cache is not None:
+                path = self._finish_route(path, point)
         rt.messages += max(0, len(path) - 1)
         self.ctx.send_path("duty-query", path, self._on_duty, rt.qid, path[-1])
+
+    def _duty_phi(
+        self, cache: StateCache, v: np.ndarray, now: float, delta: int
+    ) -> list[StateRecord]:
+        """The duty node's own qualified records, at most ``delta``.
+
+        Cache-off this is the first-δ scan of the seed (no RNG).  Cache-on
+        the duty γ may hold a replicated hot partition far larger than δ;
+        always serving its first rows would funnel every hot query onto
+        the same few owners, so the pick is a uniform δ-subset instead —
+        replication's load spreading, paid for with RNG draws that only
+        ever happen cache-on.
+        """
+        if self.cache is None:
+            return cache.qualified(v, now, limit=delta)
+        pool = cache.qualified(v, now)
+        if len(pool) <= delta:
+            return pool
+        picked = self.ctx.rng.choice(len(pool), size=delta, replace=False)
+        return [pool[i] for i in sorted(picked.tolist())]
 
     def _on_duty(self, qid: int, duty: int) -> None:
         rt = self.lifecycle.get(qid)
         if rt is None:
             return
         now = self.ctx.sim.now
+        if self.cache is not None:
+            # Feed the heat tracker driving hot-partition replication.
+            self.cache.record_service(duty, now)
         delta = self.params.delta
         found_owners: set[int] = set()
 
@@ -327,7 +474,7 @@ class QueryEngine:
         if self.params.check_duty_cache:
             cache = self.caches.get(duty)
             if cache is not None:
-                phi = cache.qualified(rt.v, now, limit=delta)
+                phi = self._duty_phi(cache, rt.v, now, delta)
                 if phi:
                     self._notify_found(duty, rt, phi)
                     delta -= len(phi)

@@ -18,7 +18,7 @@ exact iteration semantics of the original dict-of-records implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -88,8 +88,8 @@ class StateCache:
     # ------------------------------------------------------------------
     # storage management
     # ------------------------------------------------------------------
-    def _grow(self, dims: int) -> None:
-        capacity = max(_MIN_CAPACITY, 2 * self._n)
+    def _grow(self, dims: int, extra: int = 1) -> None:
+        capacity = max(_MIN_CAPACITY, 2 * self._n, self._n + extra)
         matrix = np.empty((capacity, dims), dtype=self._float)
         owners = np.empty(capacity, dtype=self._int)
         ts = np.empty(capacity, dtype=np.float64)
@@ -153,6 +153,60 @@ class StateCache:
         self._n += 1
         if record.timestamp < self._oldest:
             self._oldest = record.timestamp
+
+    def merge(self, records: Sequence[StateRecord]) -> int:
+        """Reconcile a replica batch into this cache as one array merge.
+
+        The hot-partition replication path (docs/caching.md): a hot duty
+        node pushes its γ wholesale to adjacent zones, and the receiver
+        folds the batch in with the same newest-timestamp-wins rule as
+        :meth:`put` — existing owners update in place (fancy-indexed row
+        assignment), unseen owners bulk-append in batch order.  Returns
+        the number of records accepted.
+        """
+        upd_rows: list[int] = []
+        upd_recs: list[StateRecord] = []
+        new: list[StateRecord] = []
+        seen: set[int] = set()
+        for rec in records:
+            row = self._pos.get(rec.owner)
+            if row is None:
+                # Replica batches come from an owner-keyed cache, so
+                # duplicates are unexpected — but guard anyway (a dup
+                # would leave an orphaned live row behind).
+                if rec.owner not in seen:
+                    seen.add(rec.owner)
+                    new.append(rec)
+            elif self._ts[row] <= rec.timestamp:
+                upd_rows.append(row)
+                upd_recs.append(rec)
+        if upd_rows:
+            rows = np.asarray(upd_rows)
+            self._matrix[rows] = np.asarray(
+                [rec.availability for rec in upd_recs], dtype=np.float64
+            )
+            self._ts[rows] = [rec.timestamp for rec in upd_recs]
+            for row, rec in zip(upd_rows, upd_recs):
+                self._recs[row] = rec
+        if new:
+            dims = np.asarray(new[0].availability).shape[0]
+            if self._matrix is None or self._n + len(new) > self._matrix.shape[0]:
+                self._grow(dims, extra=len(new))
+            start, stop = self._n, self._n + len(new)
+            self._matrix[start:stop] = np.asarray(
+                [rec.availability for rec in new], dtype=np.float64
+            )
+            self._owners[start:stop] = [rec.owner for rec in new]
+            self._ts[start:stop] = [rec.timestamp for rec in new]
+            self._live[start:stop] = True
+            for offset, rec in enumerate(new):
+                self._recs.append(rec)
+                self._pos[rec.owner] = start + offset
+            self._n = stop
+            oldest = min(rec.timestamp for rec in new)
+            if oldest < self._oldest:
+                self._oldest = oldest
+        return len(upd_rows) + len(new)
 
     def evict_owner(self, owner: int) -> None:
         row = self._pos.pop(owner, None)

@@ -64,10 +64,13 @@ SPEC_FILENAME = "campaign.json"
 #: Metrics aggregated in campaign summaries (keys of the stored
 #: ``metrics`` section; see ``docs/experiments.md`` for the schema).
 #: ``query_timeouts`` surfaces each protocol's churn-induced timeout
-#: failures next to its success ratios; documents persisted before the
-#: metric existed simply omit the column.
+#: failures next to its success ratios; ``messages_per_query`` and
+#: ``cache_hit_ratio`` carry the hot-range caching evaluation
+#: (docs/caching.md).  Documents persisted before a metric existed simply
+#: omit its column.
 SUMMARY_METRICS = (
-    "t_ratio", "f_ratio", "fairness", "per_node_msg_cost", "query_timeouts"
+    "t_ratio", "f_ratio", "fairness", "per_node_msg_cost",
+    "query_timeouts", "messages_per_query", "cache_hit_ratio",
 )
 
 

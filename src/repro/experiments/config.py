@@ -122,6 +122,28 @@ class ExperimentConfig:
     #: off keeps today's float64 path byte-for-byte.
     compact_dtypes: bool = False
 
+    # hot-range path caching + replication (docs/caching.md) -------------
+    #: None = cache off (bit-identical to the pre-cache protocol, pinned
+    #: by equivalence tests); else one of
+    #: :data:`repro.core.cache.CACHE_POLICIES` ("ttl", "lru", "lfu",
+    #: "adaptive").  The runner threads these knobs into ``pidcan``.
+    cache_policy: str | None = None
+    cache_size: int = 128
+    cache_ttl: float = 1200.0
+    #: Diffuse a hot duty node's record partition to adjacent zones when
+    #: its windowed service count crosses ``replication_threshold``.
+    cache_replication: bool = False
+    replication_threshold: int = 8
+    replication_window: float = 400.0
+
+    # skewed query workload (docs/caching.md) ----------------------------
+    #: 0 = the Table II uniform demand sampler, byte-for-byte.  > 0 draws
+    #: each task's demand near one of ``hot_ranges`` prototype ranges with
+    #: Zipf(s)-distributed popularity and bounded-Pareto range widths.
+    zipf_s: float = 0.0
+    hot_ranges: int = 64
+    range_width_alpha: float = 1.5
+
     # environment ---------------------------------------------------------
     network: NetworkParams = field(default_factory=NetworkParams)
     cmax_mode: str = "exact"  # "exact" | "gossip"
@@ -150,6 +172,28 @@ class ExperimentConfig:
             raise ValueError("memory_budget_mb must be positive (or None)")
         if self.memory_sweep_period <= 0:
             raise ValueError("memory_sweep_period must be positive")
+        if self.cache_policy is not None:
+            from repro.core.cache import CACHE_POLICIES
+
+            if self.cache_policy not in CACHE_POLICIES:
+                raise ValueError(
+                    f"cache_policy must be None or one of {CACHE_POLICIES}, "
+                    f"got {self.cache_policy!r}"
+                )
+        if self.cache_ttl <= 0:
+            raise ValueError("cache_ttl must be positive")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if self.replication_threshold < 1:
+            raise ValueError("replication_threshold must be >= 1")
+        if self.replication_window <= 0:
+            raise ValueError("replication_window must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.hot_ranges < 1:
+            raise ValueError("hot_ranges must be >= 1")
+        if self.range_width_alpha <= 0:
+            raise ValueError("range_width_alpha must be positive")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -68,6 +68,10 @@ class MultiSeedResult:
             "placement_fairness": lambda r: r.balance.placement_fairness,
             "hotspot_share": lambda r: r.balance.hotspot_share,
             "query_timeouts": lambda r: float(r.query_timeouts),
+            "messages_per_query": lambda r: r.messages_per_query,
+            "cache_hit_ratio": lambda r: r.cache_hit_ratio,
+            "cache_regret": lambda r: r.cache_regret,
+            "cache_hits": lambda r: float(r.cache_hits),
         }.get(name)
         if getter is None:
             raise ValueError(f"unknown metric {name!r}")
@@ -78,7 +82,7 @@ class MultiSeedResult:
             name: self.metric(name)
             for name in (
                 "t_ratio", "f_ratio", "fairness", "msg_per_node",
-                "query_timeouts",
+                "query_timeouts", "messages_per_query", "cache_hit_ratio",
             )
         }
 
@@ -98,7 +102,8 @@ def run_seeds(
 def stats_from_metric_docs(
     metric_docs: Sequence[Mapping[str, float]],
     names: Sequence[str] = (
-        "t_ratio", "f_ratio", "fairness", "per_node_msg_cost", "query_timeouts"
+        "t_ratio", "f_ratio", "fairness", "per_node_msg_cost",
+        "query_timeouts", "messages_per_query", "cache_hit_ratio",
     ),
 ) -> dict[str, MetricStats]:
     """Aggregate stored ``metrics`` sections (one per replica, e.g. the

@@ -56,7 +56,8 @@ def series_table(
 
 def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> str:
     """Final T-Ratio / F-Ratio / fairness / traffic / timeout failures
-    per protocol."""
+    per protocol, plus the per-query message cost and path-cache hit
+    ratio (``nan`` when the cell ran cache-off)."""
     lines = []
     if title:
         lines.append(title)
@@ -68,10 +69,13 @@ def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> s
         + "msg/node".rjust(10)
         + "tasks".rjust(8)
         + "q-t/o".rjust(7)
+        + "msgs/q".rjust(9)
+        + "hit%".rjust(9)
     )
     lines.append(header)
     lines.append("-" * len(header))
     for label, res in results.items():
+        hit = res.cache_hit_ratio
         lines.append(
             label.ljust(16)
             + _fmt(res.t_ratio)
@@ -80,6 +84,8 @@ def summary_table(results: Mapping[str, SimulationResult], title: str = "") -> s
             + f"{res.per_node_msg_cost:10.1f}"
             + f"{res.generated:8d}"
             + f"{res.query_timeouts:7d}"
+            + _fmt(res.messages_per_query)
+            + ("nan".rjust(9) if hit != hit else f"{hit:8.1%}".rjust(9))
         )
     return "\n".join(lines)
 

@@ -40,7 +40,7 @@ from repro.cloud.machine import (
 )
 from repro.cloud.resources import dominates
 from repro.cloud.tasks import N_WORK_DIMS, Task, TaskFactory
-from repro.cloud.workload import PoissonWorkload
+from repro.cloud.workload import PoissonWorkload, SkewedTaskFactory
 from repro.core.aggregation import gossip_aggregate
 from repro.core.context import ProtocolContext
 from repro.core.protocol import make_protocol
@@ -101,6 +101,14 @@ class SimulationResult:
     #: lost to churn) — the explicit-failure path that keeps every
     #: protocol's ``submit_many`` from hanging.
     query_timeouts: int = 0
+    #: Hot-range path-cache counters (docs/caching.md); all zero when the
+    #: cache is off or the protocol has none.
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale_hits: int = 0
+    cache_relay_hits: int = 0
+    replications: int = 0
 
     @property
     def t_ratio(self) -> float:
@@ -116,6 +124,30 @@ class SimulationResult:
 
         return jain_index(self.efficiencies)
 
+    @property
+    def messages_per_query(self) -> float:
+        """Mean protocol messages per resolved query (the Fig. 6/7 cost
+        axis; NaN when no query resolved)."""
+        return self.query_latency.mean_messages
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Served lookups (requester + relay) over requester consults;
+        NaN when the cache never ran."""
+        if not self.cache_lookups:
+            return float("nan")
+        return (self.cache_hits + self.cache_relay_hits) / self.cache_lookups
+
+    @property
+    def cache_regret(self) -> float:
+        """Staleness-induced best-fit regret: the fraction of served
+        lookups whose cached duty disagreed with the ground-truth owner
+        of the query point.  NaN when nothing was served."""
+        served = self.cache_hits + self.cache_relay_hits
+        if not served:
+            return float("nan")
+        return self.cache_stale_hits / served
+
     def summary(self) -> dict[str, float]:
         return {
             "t_ratio": self.t_ratio,
@@ -126,6 +158,10 @@ class SimulationResult:
             "finished": float(self.finished),
             "failed": float(self.failed),
             "query_timeouts": float(self.query_timeouts),
+            "messages_per_query": self.messages_per_query,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "cache_regret": self.cache_regret,
+            "cache_hits": float(self.cache_hits),
         }
 
 
@@ -215,10 +251,19 @@ class SOCSimulation:
             availability_matrix_of=self._availability_matrix_of,
             delivery=self.delivery,
         )
-        pidcan = (
-            replace(config.pidcan, compact_dtypes=True)
-            if config.compact_dtypes else config.pidcan
-        )
+        pidcan = config.pidcan
+        if config.compact_dtypes:
+            pidcan = replace(pidcan, compact_dtypes=True)
+        if config.cache_policy is not None:
+            pidcan = replace(
+                pidcan,
+                cache_policy=config.cache_policy,
+                cache_size=config.cache_size,
+                cache_ttl=config.cache_ttl,
+                cache_replication=config.cache_replication,
+                replication_threshold=config.replication_threshold,
+                replication_window=config.replication_window,
+            )
         self.protocol = make_protocol(
             config.protocol, self.ctx, pidcan,
             overlay_cls=overlay_cls, **config.protocol_kwargs
@@ -230,11 +275,24 @@ class SOCSimulation:
         self.protocol.bootstrap(sorted(self._alive))
 
         # --- workload ---------------------------------------------------
-        self.factory = TaskFactory(
-            config.demand_ratio,
-            self.rngs.stream("tasks"),
-            config.mean_nominal_time,
-        )
+        if config.zipf_s > 0:
+            # Zipf-skewed hot-range demand (docs/caching.md); zipf_s=0
+            # keeps the Table-II uniform sampler and its RNG stream
+            # byte-for-byte.
+            self.factory: TaskFactory = SkewedTaskFactory(
+                config.demand_ratio,
+                self.rngs.stream("tasks"),
+                config.mean_nominal_time,
+                zipf_s=config.zipf_s,
+                hot_ranges=config.hot_ranges,
+                width_alpha=config.range_width_alpha,
+            )
+        else:
+            self.factory = TaskFactory(
+                config.demand_ratio,
+                self.rngs.stream("tasks"),
+                config.mean_nominal_time,
+            )
         self.workload = PoissonWorkload(
             self.factory, self.rngs.stream("arrivals"), config.effective_interarrival
         )
@@ -644,6 +702,8 @@ class SOCSimulation:
         started = time.perf_counter()
         self.sim.run(until=self.config.duration)
         wall = time.perf_counter() - started
+        path_cache = getattr(self.protocol, "path_cache", None)
+        cache_stats = path_cache.stats if path_cache is not None else None
         return SimulationResult(
             config=self.config,
             series=self.collector.series(),
@@ -662,4 +722,10 @@ class SOCSimulation:
             efficiencies=self.efficiency.values().tolist(),
             wall_clock_s=wall,
             query_timeouts=self.ratios.query_timeouts,
+            cache_lookups=cache_stats.lookups if cache_stats else 0,
+            cache_hits=cache_stats.hits if cache_stats else 0,
+            cache_misses=cache_stats.misses if cache_stats else 0,
+            cache_stale_hits=cache_stats.stale_hits if cache_stats else 0,
+            cache_relay_hits=cache_stats.relay_hits if cache_stats else 0,
+            replications=cache_stats.replications if cache_stats else 0,
         )

@@ -31,6 +31,7 @@ __all__ = [
     "CHURN_DEGREES",
     "CHURN_SWEEP_PROTOCOLS",
     "CHURN_SWEEP_DEGREES",
+    "HOTRANGE_POLICIES",
     "MEGA_POPULATIONS",
     "MEGA_DURATIONS",
     "MEGA2_POPULATIONS",
@@ -78,6 +79,9 @@ CHURN_SWEEP_PROTOCOLS = (
 
 #: Dynamic degrees of the churn comparison grid (moderate + extreme).
 CHURN_SWEEP_DEGREES = (0.25, 0.75)
+
+#: Eviction policies swept by the hotrange scenario (docs/caching.md).
+HOTRANGE_POLICIES = ("ttl", "lru", "lfu", "adaptive")
 
 #: Population per scale of the ``mega`` tier.  Unlike the figure
 #: scenarios (which use :data:`~repro.experiments.config.SCALES`), mega
@@ -257,6 +261,42 @@ def burst_configs(
     )
 
 
+def hotrange_configs(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, ExperimentConfig]:
+    """Hot-range caching grid (docs/caching.md): HID-CAN under
+    Zipf-skewed demand (s=1, λ=0.5, burst ×8 so caches warm within the
+    horizon), one cell per eviction policy × replication on/off, plus the
+    cache-off control every cell is compared against.
+
+    The sweep's own axes (``cache_policy``, ``cache_replication``) cannot
+    be overridden; everything else (``zipf_s`` for the skew ablation,
+    ``n_nodes``/``duration`` for smokes) applies verbatim.
+    """
+    params: dict[str, Any] = {
+        "protocol": "hid-can",
+        "demand_ratio": 0.5,
+        "burst_factor": 8.0,
+        "zipf_s": 1.0,
+        "cache_ttl": 2400.0,
+        **overrides,
+    }
+    for swept in ("cache_policy", "cache_replication", "seed"):
+        params.pop(swept, None)
+    out: dict[str, ExperimentConfig] = {
+        "off": ExperimentConfig.at_scale(scale, seed=seed, **params)
+    }
+    for policy in HOTRANGE_POLICIES:
+        out[policy] = ExperimentConfig.at_scale(
+            scale, seed=seed, cache_policy=policy, **params
+        )
+        out[f"{policy}+repl"] = ExperimentConfig.at_scale(
+            scale, seed=seed, cache_policy=policy, cache_replication=True,
+            **params,
+        )
+    return out
+
+
 def table3_configs(
     scale: str = "small", seed: int = 42, **overrides: Any
 ) -> dict[str, ExperimentConfig]:
@@ -342,6 +382,7 @@ SCENARIO_CONFIGS: dict[str, Callable[..., dict[str, ExperimentConfig]]] = {
     "fig8": fig8_configs,
     "churn": churn_configs,
     "burst": burst_configs,
+    "hotrange": hotrange_configs,
     "table3": table3_configs,
     "mega": mega_configs,
     "mega2": mega2_configs,
@@ -416,6 +457,15 @@ def burst(
     return _run_grid(burst_configs(scale, seed, burst_factor=burst_factor))
 
 
+def hotrange(
+    scale: str = "small", seed: int = 42, **overrides: Any
+) -> dict[str, SimulationResult]:
+    """Hot-range caching grid (see :func:`hotrange_configs`).  Extra
+    keyword arguments are config overrides (``zipf_s``, ``n_nodes``,
+    ``duration``, ...) so ablations and smokes can reshape the cells."""
+    return _run_grid(hotrange_configs(scale, seed, **overrides))
+
+
 def table3(scale: str = "small", seed: int = 42) -> dict[str, SimulationResult]:
     """HID-CAN scalability sweep (λ=0.5): four metrics vs population."""
     return _run_grid(table3_configs(scale, seed))
@@ -448,6 +498,7 @@ SCENARIOS: dict[str, Callable[..., dict[str, SimulationResult]]] = {
     "fig8": fig8,
     "churn": churn,
     "burst": burst,
+    "hotrange": hotrange,
     "table3": table3,
     "mega": mega,
     "mega2": mega2,

@@ -50,6 +50,12 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             "recovered": result.recovered,
             "peak_population": result.peak_population,
             "query_timeouts": result.query_timeouts,
+            "messages_per_query": result.messages_per_query,
+            "cache_hit_ratio": result.cache_hit_ratio,
+            "cache_regret": result.cache_regret,
+            "cache_hits": result.cache_hits,
+            "cache_lookups": result.cache_lookups,
+            "replications": result.replications,
         },
         "balance": result.balance.as_dict(),
         "query_latency": result.query_latency.as_dict(),

@@ -28,7 +28,12 @@ vectorized hot paths, verbatim, as equivalence oracles:
   randomized join/leave/route/diffuse schedules against both);
 - :class:`ReferenceDiffusionEngine` — the list-comprehension NINode pool
   filter, against the array-backed
-  :class:`repro.core.diffusion.DiffusionEngine` pools.
+  :class:`repro.core.diffusion.DiffusionEngine` pools;
+- :class:`ReferencePIList` — the dict-of-stamps positive index list,
+  against the SoA :class:`repro.core.cache.RangeCache` TTL policy that
+  now backs :class:`repro.core.pilist.PIList`
+  (:func:`assert_cache_off_equivalent` swaps it into whole cache-off
+  experiments).
 """
 
 from __future__ import annotations
@@ -73,8 +78,10 @@ __all__ = [
     "reference_inscan_path",
     "assert_tick_modes_equivalent",
     "ReferenceDeliveryCalendar",
+    "ReferencePIList",
     "assert_results_identical",
     "assert_delivery_modes_equivalent",
+    "assert_cache_off_equivalent",
 ]
 
 #: Work below this is treated as done (guards float round-off at completion).
@@ -1154,6 +1161,97 @@ def assert_results_identical(a, b) -> None:
         assert np.array_equal(
             np.asarray(series.values), np.asarray(other.values), equal_nan=True
         ), f"{name} sample values diverge"
+
+
+class ReferencePIList:
+    """The seed's scalar PIList (§III-B), verbatim — dict of insertion
+    stamps, ``min()``-scan eviction — kept as the behavioural oracle for
+    the :class:`repro.core.cache.RangeCache` TTL policy that now backs
+    :class:`repro.core.pilist.PIList`."""
+
+    def __init__(self, ttl: float, max_size: int = 64):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self.max_size = int(max_size)
+        self._added_at: dict[int, float] = {}
+        #: Latest simulation time this list has observed; ``__len__`` and
+        #: ``__contains__`` expire against it so they agree with the most
+        #: recent ``entries()``/``sample()`` view (sim time is monotonic).
+        self._clock = 0.0
+
+    def _observe(self, now: float) -> None:
+        if now > self._clock:
+            self._clock = now
+
+    def add(self, node_id: int, now: float) -> None:
+        """Insert or refresh an index; evict the stalest when full."""
+        self._observe(now)
+        self._added_at[node_id] = now
+        if len(self._added_at) > self.max_size:
+            oldest = min(self._added_at, key=lambda k: (self._added_at[k], k))
+            del self._added_at[oldest]
+
+    def discard(self, node_id: int) -> None:
+        self._added_at.pop(node_id, None)
+
+    def purge(self, now: float) -> None:
+        self._observe(now)
+        cutoff = now - self.ttl
+        stale = [k for k, t in self._added_at.items() if t < cutoff]
+        for k in stale:
+            del self._added_at[k]
+
+    def entries(self, now: float) -> list[int]:
+        self.purge(now)
+        return sorted(self._added_at)
+
+    def sample(self, k: int, now: float, rng: np.random.Generator) -> list[int]:
+        """Up to ``k`` distinct indexes, uniformly at random (Algorithm 4
+        line 1)."""
+        pool = self.entries(now)
+        if len(pool) <= k:
+            return pool
+        picked = rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in picked]
+
+    def __len__(self) -> int:
+        """Live entry count as of the latest observed time (stale entries
+        are not reported, matching ``entries()``/``sample()``)."""
+        self.purge(self._clock)
+        return len(self._added_at)
+
+    def __contains__(self, node_id: int) -> bool:
+        added = self._added_at.get(node_id)
+        return added is not None and added >= self._clock - self.ttl
+
+
+def assert_cache_off_equivalent(config):
+    """Run ``config`` (which must have the hot-range cache off) twice —
+    once stock, once with every protocol PIList swapped for the scalar
+    :class:`ReferencePIList` — and assert the runs are metric- and
+    series-identical.
+
+    This pins the cache-off contract of docs/caching.md from both ends:
+    the RangeCache-backed PIList is draw-for-draw the seed implementation,
+    and with ``cache_policy=None`` no other cache code runs at all.
+    Returns the ``(stock, reference)`` result pair.
+    """
+    from repro.core import protocol as protocol_mod
+    from repro.experiments.runner import SOCSimulation
+
+    if config.cache_policy is not None:
+        raise ValueError("assert_cache_off_equivalent needs cache_policy=None")
+
+    stock = SOCSimulation(config).run()
+    original = protocol_mod.PIList
+    protocol_mod.PIList = ReferencePIList
+    try:
+        reference = SOCSimulation(config).run()
+    finally:
+        protocol_mod.PIList = original
+    assert_results_identical(stock, reference)
+    return stock, reference
 
 
 class ReferenceDeliveryCalendar:

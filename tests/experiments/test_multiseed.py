@@ -47,7 +47,8 @@ def test_unknown_metric_rejected(replicas):
 def test_summary_covers_headline_metrics(replicas):
     summary = replicas.summary()
     assert set(summary) == {
-        "t_ratio", "f_ratio", "fairness", "msg_per_node", "query_timeouts"
+        "t_ratio", "f_ratio", "fairness", "msg_per_node", "query_timeouts",
+        "messages_per_query", "cache_hit_ratio",
     }
 
 

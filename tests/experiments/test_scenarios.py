@@ -25,7 +25,7 @@ from repro.experiments.scenarios import (
 def test_scenario_registry_covers_every_figure_and_table():
     assert set(SCENARIOS) == {
         "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "churn", "burst",
-        "table3", "mega", "mega2",
+        "table3", "mega", "mega2", "hotrange",
     }
 
 

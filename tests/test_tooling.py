@@ -143,3 +143,27 @@ def test_mega2_scenario_smoke():
     assert result.config.compact_dtypes
     assert result.config.coalesce_deliveries
     assert result.generated > 0
+
+
+def test_cache_off_equivalence_smoke():
+    """Fast-gate smoke of the hot-range cache's opt-in contract: with
+    ``cache_policy=None`` a small Zipf-skewed cell is bit-identical
+    whether the PIList is the RangeCache TTL policy or the verbatim seed
+    scalar, and no cache counter moves (the paper-scale and churn cells
+    live in tests/experiments/test_hotrange.py)."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.testing import assert_cache_off_equivalent
+
+    stock, _ = assert_cache_off_equivalent(
+        ExperimentConfig(
+            protocol="hid-can",
+            demand_ratio=0.5,
+            n_nodes=48,
+            duration=3000.0,
+            sample_period=1000.0,
+            seed=2,
+            zipf_s=1.0,
+        )
+    )
+    assert stock.generated > 0
+    assert stock.cache_lookups == 0
